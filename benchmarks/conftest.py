@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (or an
+ablation) and prints the same rows/series the paper reports, so the run's
+captured output doubles as the reproduction artifact.  Benchmarks are sized
+to finish in seconds-to-minutes; the full-resolution sweeps live in
+``repro.experiments`` and the ``dssoc-emulate experiment`` CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sweep",
+        action="store_true",
+        default=False,
+        help="run benchmark sweeps at the paper's full resolution",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_sweep(request):
+    return request.config.getoption("--full-sweep")

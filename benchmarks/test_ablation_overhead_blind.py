@@ -1,0 +1,105 @@
+"""Ablation: overhead-blind simulation (the paper's DS3 comparison).
+
+Sec. III-D argues that discrete-event simulators like DS3 "are inadequate
+in capturing scheduling overhead ... as they are designed to operate
+without real applications and hardware", and that exposing runtime
+overheads is precisely what the emulation framework adds.
+
+This ablation makes that argument quantitative: the same workloads run
+through the virtual backend twice — once with the calibrated
+scheduler-cost model (the framework's estimate) and once with all runtime
+overheads zeroed (the DS3-style, overhead-blind estimate).  For FRFS the
+two agree (overhead is negligible, both simulators would be right); for
+EFT the overhead-blind estimate misses the scheduler-induced saturation by
+orders of magnitude — the design decision Fig. 10 exists to expose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import table_ii_workload
+from repro.hardware.perfmodel import SchedulerCostModel
+from repro.runtime.backends import VirtualBackend
+from repro.runtime.emulation import Emulation
+
+
+def zero_cost_model() -> SchedulerCostModel:
+    """A cost model in which every runtime action is free (DS3-style)."""
+    coeffs = {
+        name: (0.0, 0.0, 0)
+        for name in SchedulerCostModel.DEFAULT_POLICY_COEFFS
+    }
+    return SchedulerCostModel(
+        policy_coeffs=coeffs,
+        base_cost=0.0,
+        monitor_cost_per_completion=0.0,
+        dispatch_cost_per_task=0.0,
+    )
+
+
+def run(policy: str, rate: float, *, blind: bool):
+    emu = Emulation(
+        config="3C+2F",
+        policy=policy,
+        cost_model=zero_cost_model() if blind else SchedulerCostModel(),
+        materialize_memory=False,
+        jitter=False,
+    )
+    return emu.run(table_ii_workload(rate), VirtualBackend())
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    cases = {
+        ("frfs", 2.28): None,
+        ("eft", 2.28): None,
+    }
+    results = {}
+    for policy, rate in cases:
+        aware = run(policy, rate, blind=False)
+        blind = run(policy, rate, blind=True)
+        results[(policy, rate)] = (aware, blind)
+    print()
+    print("Overhead-aware vs overhead-blind (DS3-style) makespan estimates:")
+    for (policy, rate), (aware, blind) in results.items():
+        ratio = aware.stats.makespan / blind.stats.makespan
+        print(
+            f"  {policy:5s} @ {rate} jobs/ms: aware="
+            f"{aware.stats.makespan / 1e6:7.3f}s  "
+            f"blind={blind.stats.makespan / 1e6:7.3f}s  "
+            f"underestimation x{ratio:,.1f}"
+        )
+    return results
+
+
+def test_all_runs_complete(estimates):
+    for aware, blind in estimates.values():
+        aware.stats.assert_all_complete()
+        blind.stats.assert_all_complete()
+
+
+def test_frfs_estimates_agree(estimates):
+    """Cheap policies: overhead-blind simulation is fine (both ~0.10 s)."""
+    aware, blind = estimates[("frfs", 2.28)]
+    assert aware.stats.makespan <= 1.3 * blind.stats.makespan
+
+
+def test_eft_overhead_blind_misses_saturation(estimates):
+    """The paper's point: without modeling scheduling overhead, EFT looks
+    nearly as good as FRFS; with it, the same policy saturates."""
+    aware, blind = estimates[("eft", 2.28)]
+    assert blind.stats.makespan < 3 * 0.1e6   # blind: looks fine (~window)
+    assert aware.stats.makespan > 20 * blind.stats.makespan
+
+    frfs_aware, _ = estimates[("frfs", 2.28)]
+    # blind simulation would rank EFT ~on par with FRFS — the wrong call
+    assert blind.stats.makespan < 2.0 * frfs_aware.stats.makespan
+
+
+@pytest.mark.benchmark(group="ablation-overhead-blind")
+def test_bench_overhead_blind_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run("eft", 1.71, blind=True), rounds=3, iterations=1
+    )
+    assert result.stats.apps_completed == 171

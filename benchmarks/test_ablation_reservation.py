@@ -1,0 +1,70 @@
+"""Ablation: PE-level reservation queues (the paper's future-work item).
+
+The paper attributes part of its scheduling overhead to the missing
+"reservation queue on each PE" — the policy runs at every task completion
+and PEs idle while the workload manager deliberates.  This ablation
+compares plain dispatch against the reservation-queue extension on the
+Fig. 10 workloads and checks the motivating claim: with work queues the
+same heuristic sustains a higher injection rate (lower makespan under
+load).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import table_ii_workload
+from repro.runtime.backends import VirtualBackend
+from repro.runtime.emulation import Emulation
+
+
+def run_policy(policy: str, rate: float):
+    emu = Emulation(
+        config="3C+2F", policy=policy, materialize_memory=False, jitter=False
+    )
+    return emu.run(table_ii_workload(rate), VirtualBackend())
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    results = {}
+    for policy in ("frfs", "frfs_reserve", "eft", "eft_reserve"):
+        rate = 2.28
+        results[policy] = run_policy(policy, rate)
+    print()
+    print("Reservation-queue ablation (rate 2.28 jobs/ms, 3C+2F):")
+    for policy, result in results.items():
+        print(
+            f"  {policy:14s} makespan={result.stats.makespan / 1e6:8.3f}s  "
+            f"avg_overhead={result.stats.avg_scheduling_overhead():9.2f}us  "
+            f"passes={result.stats.sched_invocations}"
+        )
+    return results
+
+
+def test_all_variants_complete(ablation_results):
+    for policy, result in ablation_results.items():
+        assert result.stats.apps_completed == 228, policy
+
+
+def test_reservation_rescues_eft(ablation_results):
+    """EFT saturates without work queues; with them the PEs keep running
+    while the WM deliberates, collapsing the makespan."""
+    plain = ablation_results["eft"].stats.makespan
+    reserved = ablation_results["eft_reserve"].stats.makespan
+    assert reserved < plain / 2
+
+
+def test_reservation_does_not_hurt_frfs(ablation_results):
+    plain = ablation_results["frfs"].stats.makespan
+    reserved = ablation_results["frfs_reserve"].stats.makespan
+    assert reserved <= plain * 1.5
+
+
+@pytest.mark.benchmark(group="ablation-reservation")
+@pytest.mark.parametrize("policy", ["frfs", "frfs_reserve"])
+def test_bench_reservation(benchmark, policy):
+    result = benchmark.pedantic(
+        lambda: run_policy(policy, 1.71), rounds=3, iterations=1
+    )
+    assert result.stats.apps_completed == 171

@@ -1,0 +1,70 @@
+"""Case Study 4: automatic conversion and recognized-kernel substitution.
+
+Regenerates the paper's conversion results for the monolithic range
+detection program: six detected kernels (three file I/O, two DFTs, one
+IDFT), recognition of the loop DFT/IDFT kernels, and the measured speedups
+from substituting the optimized FFT invocation (paper: 102×) and the FFT
+accelerator (paper: 94×), with output correctness preserved.
+
+Our naive kernels are interpreted Python, so the absolute speedups are far
+larger than the paper's C-baseline numbers; the assertions check the
+paper's *relationships* (both large, optimized ≥ accelerator, output
+unchanged).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.case_study_4 import (
+    check_cs4_shape,
+    render_case_study_4,
+    run_case_study_4,
+)
+from repro.experiments.monolithic import monolithic_range_detection
+from repro.toolchain import convert
+
+
+@pytest.fixture(scope="module")
+def cs4(request):
+    n = 256 if request.config.getoption("--full-sweep") else 96
+    result = run_case_study_4(n_samples=n)
+    print()
+    print(render_case_study_4(result))
+    return result
+
+
+def test_cs4_shape_criteria(cs4):
+    assert check_cs4_shape(cs4) == []
+
+
+def test_cs4_six_kernels_three_io(cs4):
+    assert cs4.kernel_count == 6
+    assert cs4.io_kernel_count == 3
+
+
+def test_cs4_recognition(cs4):
+    kinds = sorted(kind for _seg, kind in cs4.recognized)
+    assert kinds == ["dft", "dft", "idft"]
+
+
+def test_cs4_substitution_speedups(cs4):
+    assert cs4.speedup("optimized") >= 50.0
+    assert cs4.speedup("accelerator") >= 50.0
+    assert cs4.speedup("optimized") >= cs4.speedup("accelerator")
+
+
+def test_cs4_outputs_correct_in_all_variants(cs4):
+    for variant in cs4.variants.values():
+        assert variant.lag_correct, variant.substitute
+
+
+@pytest.mark.benchmark(group="cs4")
+def test_bench_conversion_pipeline(benchmark, tmp_path):
+    """pytest-benchmark target: the trace->detect->outline->recognize flow."""
+    result = benchmark.pedantic(
+        lambda: convert(monolithic_range_detection, (48, str(tmp_path))),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.kernel_count == 6

@@ -1,0 +1,89 @@
+"""Fig. 10: performance-mode scheduler comparison on 3C+2F.
+
+Regenerates both panels — (a) workload execution time and (b) average
+scheduling overhead versus injection rate for EFT, MET, and FRFS — and
+asserts the paper's qualitative findings: FRFS's overhead is flat at
+microsecond scale and its makespan grows linearly; MET's O(n) and EFT's
+O(n²) policy costs accumulate into decades-higher overheads and makespans,
+with EFT worst everywhere.
+
+The default run covers the three lowest Table II rates (EFT's saturated
+runs dominate wall time); ``--full-sweep`` runs all five.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.case_study_2 import (
+    check_fig10_shape,
+    render_fig10,
+    run_fig10,
+)
+from repro.experiments.workloads import TABLE_II_RATES, table_ii_workload
+from repro.runtime.backends import VirtualBackend
+from repro.runtime.emulation import Emulation
+
+
+@pytest.fixture(scope="module")
+def fig10_points(request):
+    rates = (
+        TABLE_II_RATES
+        if request.config.getoption("--full-sweep")
+        else TABLE_II_RATES[:3]
+    )
+    points = run_fig10(rates=rates)
+    print()
+    print(render_fig10(points))
+    return points
+
+
+def test_fig10_shape_criteria(fig10_points):
+    assert check_fig10_shape(fig10_points) == []
+
+
+def test_fig10b_overhead_decades(fig10_points):
+    """Overheads must land in the paper's decades: FRFS ~1e0 us, MET
+    1e1-1e3 us, EFT 1e2-1e5 us, at every rate."""
+    for p in fig10_points:
+        if p.policy == "frfs":
+            assert 1.0 <= p.avg_sched_overhead_us <= 8.0
+        elif p.policy == "met":
+            assert 5.0 <= p.avg_sched_overhead_us <= 2000.0
+        elif p.policy == "eft":
+            assert 100.0 <= p.avg_sched_overhead_us <= 100_000.0
+
+
+def test_fig10a_frfs_linear_in_rate(fig10_points):
+    frfs = sorted(
+        (p for p in fig10_points if p.policy == "frfs"), key=lambda p: p.rate
+    )
+    times = np.array([p.execution_time_s for p in frfs])
+    rates = np.array([p.rate for p in frfs])
+    # linear fit residual must be small relative to the span
+    coeffs = np.polyfit(rates, times, 1)
+    residual = np.abs(np.polyval(coeffs, rates) - times).max()
+    assert residual <= 0.25 * (times.max() - times.min() + 0.05)
+
+
+def test_fig10a_eft_saturated_from_lowest_rate(fig10_points):
+    """Paper: EFT needs 4.6 s for a 100 ms injection window at rate 1.71."""
+    eft_low = next(
+        p for p in fig10_points if p.policy == "eft" and p.rate == 1.71
+    )
+    assert eft_low.execution_time_s > 1.0
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("policy", ["frfs", "met"])
+def test_bench_performance_mode(benchmark, policy):
+    """pytest-benchmark target: a rate-1.71 performance-mode run."""
+    emu = Emulation(
+        config="3C+2F", policy=policy, materialize_memory=False, jitter=False
+    )
+    workload = table_ii_workload(1.71)
+    result = benchmark.pedantic(
+        lambda: emu.run(workload, VirtualBackend()), rounds=3, iterations=1
+    )
+    assert result.stats.apps_completed == 171

@@ -1,0 +1,77 @@
+"""Fig. 11: Odroid XU3 portability sweep (FRFS, performance mode).
+
+Regenerates execution time versus injection rate for big.LITTLE DSSoC
+configurations and asserts the paper's findings: 3BIG+2LTL sits in the
+winning band, LITTLE-only is slowest, and at high rates 4BIG+3LTL /
+4BIG+2LTL fall behind 4BIG+1LTL because FRFS's per-PE scheduling cost runs
+on the slow LITTLE overlay core.
+
+Default: 6 configurations x 3 rates; ``--full-sweep``: all 12 x 8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.case_study_3 import (
+    check_fig11_shape,
+    render_fig11,
+    run_fig11,
+)
+from repro.experiments.workloads import FIG11_CONFIGS, FIG11_RATES, workload_at_rate
+from repro.hardware.platform import odroid_xu3
+from repro.runtime.backends import VirtualBackend
+from repro.runtime.emulation import Emulation
+
+_SMALL_CONFIGS = (
+    "0BIG+3LTL", "2BIG+2LTL", "3BIG+2LTL",
+    "4BIG+1LTL", "4BIG+2LTL", "4BIG+3LTL",
+)
+_SMALL_RATES = (4.0, 10.0, 18.0)
+
+
+@pytest.fixture(scope="module")
+def fig11_points(request):
+    if request.config.getoption("--full-sweep"):
+        points = run_fig11(configs=FIG11_CONFIGS, rates=FIG11_RATES)
+    else:
+        points = run_fig11(configs=_SMALL_CONFIGS, rates=_SMALL_RATES)
+    print()
+    print(render_fig11(points))
+    return points
+
+
+def test_fig11_shape_criteria(fig11_points):
+    assert check_fig11_shape(fig11_points) == []
+
+
+def test_fig11_execution_time_band(fig11_points):
+    """Paper Fig. 11 spans roughly 0.2-1.8 s across rates 4-18."""
+    times = [p.execution_time_s for p in fig11_points]
+    assert min(times) >= 0.05
+    assert max(times) <= 6.0
+
+
+def test_fig11_overhead_grows_with_pe_count(fig11_points):
+    top_rate = max(p.rate for p in fig11_points)
+    at_top = {
+        p.config: p.avg_sched_overhead_us
+        for p in fig11_points
+        if p.rate == top_rate
+    }
+    assert at_top["4BIG+3LTL"] > at_top["2BIG+2LTL"]
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("config", ["3BIG+2LTL", "4BIG+3LTL"])
+def test_bench_odroid_point(benchmark, config):
+    """pytest-benchmark target: one Odroid performance-mode point."""
+    emu = Emulation(
+        platform=odroid_xu3(), config=config, policy="frfs",
+        materialize_memory=False, jitter=False,
+    )
+    workload = workload_at_rate(4.0)
+    result = benchmark.pedantic(
+        lambda: emu.run(workload, VirtualBackend()), rounds=3, iterations=1
+    )
+    assert result.stats.apps_completed == workload.size

@@ -1,0 +1,69 @@
+"""Fig. 9: validation-mode execution time and PE utilization across the
+seven ZCU102 DSSoC configurations (FRFS).
+
+Default runs use 10 iterations per configuration (the paper uses 50; pass
+``--full-sweep`` for full resolution) and assert the paper's qualitative
+findings: more CPU cores beat more FFT accelerators at this FFT size,
+2C+2F ≈ 2C+1F because the two accelerator manager threads share an A53,
+3C+0F wins outright, and CPU utilization dominates accelerator utilization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.case_study_1 import (
+    check_fig9_shape,
+    render_fig9,
+    run_fig9,
+)
+from repro.experiments.workloads import fig9_workload
+from repro.runtime.backends import VirtualBackend
+from repro.runtime.emulation import Emulation
+
+
+@pytest.fixture(scope="module")
+def fig9_rows(request):
+    iterations = 50 if request.config.getoption("--full-sweep") else 10
+    rows = run_fig9(iterations=iterations)
+    print()
+    print(render_fig9(rows))
+    return rows
+
+
+def test_fig9_shape_criteria(fig9_rows):
+    assert check_fig9_shape(fig9_rows) == []
+
+
+def test_fig9a_execution_time_band(fig9_rows):
+    """The paper's Fig. 9a spans roughly 6-16 ms across configurations."""
+    medians = {r.config: r.execution_time.median for r in fig9_rows}
+    assert 8.0 <= medians["1C+0F"] <= 25.0
+    assert 4.0 <= medians["3C+0F"] <= 12.0
+    assert medians["1C+0F"] > medians["3C+0F"]
+
+
+def test_fig9a_boxes_have_spread(fig9_rows):
+    for row in fig9_rows:
+        assert row.execution_time.maximum > row.execution_time.minimum
+
+
+def test_fig9b_cpu_utilization_band(fig9_rows):
+    """Paper: max CPU utilization ~80% (observed on 1C+0F)."""
+    one_core = next(r for r in fig9_rows if r.config == "1C+0F")
+    cpu_util = max(
+        u for pe, u in one_core.pe_utilization.items() if pe.startswith("cpu")
+    )
+    assert 0.70 <= cpu_util <= 0.98
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("config", ["1C+0F", "2C+1F", "3C+0F"])
+def test_bench_validation_run(benchmark, config):
+    """pytest-benchmark target: one validation-mode emulation."""
+    emu = Emulation(
+        config=config, policy="frfs", materialize_memory=False, jitter=False
+    )
+    workload = fig9_workload()
+    result = benchmark(lambda: emu.run(workload, VirtualBackend()))
+    assert result.stats.apps_completed == 4

@@ -1,0 +1,63 @@
+"""Table I: standalone application execution time and task count.
+
+Regenerates the paper's Table I (3 cores + 2 FFT accelerators, FRFS):
+per-application makespan in milliseconds and DAG task count, printed next
+to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.case_study_2 import (
+    PAPER_TABLE_I,
+    render_table_i,
+    run_table_i,
+)
+from repro.runtime.backends import VirtualBackend
+from repro.runtime.emulation import Emulation
+from repro.runtime.workload import validation_workload
+
+
+@pytest.fixture(scope="module")
+def table_i_rows():
+    rows = run_table_i()
+    print()
+    print(render_table_i(rows))
+    return {r.application: r for r in rows}
+
+
+def test_table_i_task_counts_exact(table_i_rows):
+    for app, (_ms, tasks) in PAPER_TABLE_I.items():
+        assert table_i_rows[app].task_count == tasks
+
+
+def test_table_i_times_in_paper_band(table_i_rows):
+    for app, (paper_ms, _tasks) in PAPER_TABLE_I.items():
+        measured = table_i_rows[app].execution_time_ms
+        assert paper_ms / 2 <= measured <= paper_ms * 2, (app, measured)
+
+
+def test_table_i_ordering(table_i_rows):
+    times = {app: row.execution_time_ms for app, row in table_i_rows.items()}
+    assert (
+        times["pulse_doppler"] > times["wifi_rx"]
+        > times["range_detection"] > times["wifi_tx"]
+    )
+
+
+@pytest.mark.benchmark(group="table-i")
+@pytest.mark.parametrize("app", sorted(PAPER_TABLE_I))
+def test_bench_standalone_app(benchmark, app):
+    """pytest-benchmark target: one standalone emulation per application."""
+    emu = Emulation(
+        config="3C+2F", policy="frfs", materialize_memory=False, jitter=False
+    )
+    workload = validation_workload({app: 1})
+
+    def run():
+        return emu.run(workload, VirtualBackend()).makespan_ms
+
+    makespan_ms = benchmark(run)
+    paper_ms, _ = PAPER_TABLE_I[app]
+    assert paper_ms / 2 <= makespan_ms <= paper_ms * 2

@@ -1,0 +1,65 @@
+"""Table II: application instance counts per injection rate.
+
+Regenerates the paper's Table II by inverting the rates into per-app
+injection periods over the 100 ms window and counting what the workload
+generator actually produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments.workloads import TABLE_II_COUNTS, table_ii_workload
+
+
+@pytest.fixture(scope="module")
+def generated_counts():
+    rows = []
+    generated = {}
+    for rate in sorted(TABLE_II_COUNTS):
+        spec = table_ii_workload(rate)
+        counts = spec.counts()
+        generated[rate] = (counts, spec)
+        rows.append(
+            [
+                rate,
+                counts["pulse_doppler"],
+                counts["range_detection"],
+                counts["wifi_tx"],
+                counts["wifi_rx"],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["rate_jobs_per_ms", "pulse_doppler", "range_detection",
+             "wifi_tx", "wifi_rx"],
+            rows,
+            title="Table II: instance counts per injection rate",
+        )
+    )
+    return generated
+
+
+def test_counts_match_paper_exactly(generated_counts):
+    for rate, paper_counts in TABLE_II_COUNTS.items():
+        counts, _spec = generated_counts[rate]
+        assert counts == paper_counts, rate
+
+
+def test_rates_recovered_from_generated_traces(generated_counts):
+    for rate, (_counts, spec) in generated_counts.items():
+        assert spec.injection_rate_per_ms() == pytest.approx(rate, abs=0.005)
+
+
+def test_arrivals_periodic_within_window(generated_counts):
+    for rate, (_counts, spec) in generated_counts.items():
+        assert all(0.0 <= i.arrival_time < spec.time_frame for i in spec.items)
+
+
+@pytest.mark.benchmark(group="table-ii")
+def test_bench_workload_generation(benchmark):
+    """pytest-benchmark target: generating the densest Table II trace."""
+    spec = benchmark(table_ii_workload, 6.92)
+    assert spec.size == 692

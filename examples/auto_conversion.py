@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Automatic application conversion (the paper's Case Study 4 workflow).
+
+Takes an unlabeled, monolithic signal-processing function — a pulse
+compressor prototyped with plain loops and file I/O — and converts it into
+a framework application: dynamic tracing finds the hot kernels, liveness +
+runtime observation size the variables, each segment is outlined into a
+kernel, the naive DFT loops are *recognized* and transparently rebound to
+the optimized FFT invocation and to the FFT accelerator, and the generated
+DAG runs in the emulator with its output verified against the original.
+"""
+
+from __future__ import annotations
+
+import cmath
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import Emulation, ThreadedBackend, convert, validation_workload
+from repro.analysis.tables import format_table
+from repro.hardware.perfmodel import PerformanceModel
+
+
+def monolithic_pulse_compressor(n: int, workdir: str):
+    """An engineer's flat prototype: synthesize, store, reload, compress."""
+    t = np.arange(n) / float(n)
+    ref = np.exp(1j * np.pi * n * t * t)
+    rx = np.concatenate([np.zeros(n // 5), 0.8 * ref[: n - n // 5]])
+
+    capture = os.path.join(workdir, "capture.txt")
+    with open(capture, "w") as fout:
+        for k in range(n):
+            fout.write(f"{rx[k].real:.10e} {rx[k].imag:.10e}\n")
+
+    with open(capture) as fin:
+        samples = []
+        for line in fin:
+            re_part, im_part = line.split()
+            samples.append(complex(float(re_part), float(im_part)))
+
+    spec = [0j] * n
+    for k in range(n):
+        acc = 0j
+        for i in range(n):
+            acc += samples[i] * cmath.exp(-2j * cmath.pi * k * i / n)
+        spec[k] = acc
+
+    ref_spec = np.fft.fft(ref)
+    product = np.asarray(spec) * np.conj(ref_spec)
+
+    compressed = [0j] * n
+    for k in range(n):
+        acc = 0j
+        for i in range(n):
+            acc += product[i] * cmath.exp(2j * cmath.pi * k * i / n)
+        compressed[k] = acc / n
+
+    gate = int(np.argmax(np.abs(np.asarray(compressed))))
+    return gate
+
+
+def main() -> None:
+    n = 96
+    with tempfile.TemporaryDirectory() as workdir:
+        truth = monolithic_pulse_compressor(n, workdir)
+        print(f"original program output: range gate = {truth}")
+        print()
+
+        result = convert(monolithic_pulse_compressor, (n, workdir))
+        print("== kernel detection ==")
+        print(
+            format_table(
+                ["segment", "kind", "events", "share"],
+                [[r["segment"], r["kind"], r["events"], r["share"]]
+                 for r in result.detection_report()],
+            )
+        )
+        print()
+        print("== recognition ==")
+        for rec in result.recognition:
+            verdict = rec.recognized_as or "(not recognized)"
+            print(f"  {rec.segment_name}: {verdict}  hash={rec.ast_hash}")
+
+        rows = []
+        for mode in ("none", "optimized", "accelerator"):
+            gen = result.generate(mode)
+            perf = PerformanceModel()
+            for runfunc, points in gen.accel_job_sizes.items():
+                perf.set_accel_job(runfunc, points)
+            emu = Emulation(
+                config="2C+1F", policy="frfs",
+                applications={gen.graph.app_name: gen.graph},
+                library=gen.library, perf_model=perf,
+            )
+            t0 = time.perf_counter()
+            run = emu.run(
+                validation_workload({gen.graph.app_name: 1}), ThreadedBackend()
+            )
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            gate = run.instances[0].variables["gate"].as_int()
+            rows.append([mode, round(wall_ms, 1), gate, gate == truth])
+        print()
+        print(
+            format_table(
+                ["substitution", "wall_ms", "range_gate", "correct"],
+                rows,
+                title="Generated application under each substitution mode",
+            )
+        )
+        naive, opt = rows[0][1], rows[1][1]
+        print()
+        print(f"optimized-substitution application speedup: {naive / opt:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

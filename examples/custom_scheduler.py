@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Integrating a custom scheduling policy.
+
+The paper's integration recipe for a new heuristic: implement a policy that
+receives the ready task queue and the resource-handler objects, then add a
+dispatch entry — here, subclass :class:`Scheduler` and call
+:func:`register_policy` (the Python analog of editing ``scheduler.cpp``'s
+``performScheduling``).
+
+The example policy is *longest-app-first*: among ready tasks, prefer those
+whose application has the most unfinished tasks (drains the big pulse-
+Doppler DAGs early).  It is compared against FRFS and MET on a Table II
+workload.
+"""
+
+from __future__ import annotations
+
+from repro import Emulation, VirtualBackend, register_policy
+from repro.analysis.tables import format_table
+from repro.experiments.workloads import table_ii_workload
+from repro.runtime.schedulers import Scheduler
+from repro.runtime.schedulers.base import Assignment
+
+
+class LongestAppFirstScheduler(Scheduler):
+    """Prefer tasks from applications with the most remaining work.
+
+    Checks PE availability via the handlers' status fields (the paper's
+    prescribed first step), then greedily assigns the highest-backlog
+    ready tasks to supporting idle PEs.
+    """
+
+    name = "longest_app_first"
+
+    def schedule(self, ready, handlers, now):
+        idle = self.idle_handlers(handlers)
+        if not idle:
+            return []
+        prioritized = sorted(
+            ready,
+            key=lambda t: -(t.app.task_count - t.app.completed_count),
+        )
+        assignments: list[Assignment] = []
+        available = list(idle)
+        for task in prioritized:
+            if not available:
+                break
+            for i, handler in enumerate(available):
+                if task.supports_pe(handler):
+                    assignments.append(Assignment(task, available.pop(i)))
+                    break
+        return assignments
+
+
+def main() -> None:
+    register_policy(
+        "longest_app_first",
+        lambda oracle: LongestAppFirstScheduler(oracle),
+        replace=True,
+    )
+    # Give the new policy an overhead model entry: O(n log n) sort dominates,
+    # modeled here as linear with a small coefficient.
+    from repro.hardware.perfmodel import SchedulerCostModel
+
+    cost_model = SchedulerCostModel()
+    cost_model.set_policy("longest_app_first", 0.5, 0.02, 1)
+
+    workload = table_ii_workload(2.28)
+    rows = []
+    for policy in ("frfs", "met", "longest_app_first"):
+        emu = Emulation(
+            config="3C+2F", policy=policy, cost_model=cost_model,
+            materialize_memory=False, jitter=False,
+        )
+        result = emu.run(workload, VirtualBackend())
+        pd_response = result.stats.mean_response_time("pulse_doppler") / 1000.0
+        rows.append(
+            [
+                policy,
+                round(result.stats.makespan / 1e6, 4),
+                round(result.stats.avg_scheduling_overhead(), 2),
+                round(pd_response, 2),
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "makespan_s", "avg_overhead_us", "pd_response_ms"],
+            rows,
+            title="Custom policy vs built-ins (rate 2.28 jobs/ms, 3C+2F)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

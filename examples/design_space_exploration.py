@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Design-space exploration: which DSSoC configuration should we build?
+
+Reproduces the paper's Case Study 1 workflow: sweep candidate hardware
+configurations (CPU-core / FFT-accelerator mixes on the ZCU102 resource
+pool) against the SDR validation workload, then rank them by execution
+time and by an area-efficiency proxy — the paper's conclusion that
+2C+1F is the area-efficient pick while 3C+0F is fastest.
+
+Usage::
+
+    python examples/design_space_exploration.py [iterations]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.experiments.case_study_1 import run_fig9
+from repro.experiments.workloads import FIG9_CONFIGS
+
+# crude area proxy (mm^2-ish): an A53 core vs. a fabric FFT block
+AREA_UNITS = {"C": 4.0, "F": 1.5}
+
+
+def config_area(config: str) -> float:
+    area = 0.0
+    for token in config.split("+"):
+        count, kind = int(token[:-1]), token[-1]
+        area += count * AREA_UNITS[kind]
+    return area
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    rows = run_fig9(iterations=iterations)
+
+    table = []
+    for row in rows:
+        median_ms = row.execution_time.median
+        area = config_area(row.config)
+        table.append(
+            {
+                "config": row.config,
+                "median_ms": round(median_ms, 2),
+                "iqr_ms": round(row.execution_time.iqr, 3),
+                "area": area,
+                "ms_x_area": round(median_ms * area, 1),
+            }
+        )
+
+    by_speed = sorted(table, key=lambda r: r["median_ms"])
+    print(
+        format_table(
+            ["config", "median_ms", "iqr_ms", "area", "ms_x_area"],
+            [[r[c] for c in ("config", "median_ms", "iqr_ms", "area",
+                             "ms_x_area")] for r in by_speed],
+            title=f"Validation workload across configurations "
+                  f"({iterations} iterations, FRFS)",
+        )
+    )
+    fastest = by_speed[0]
+    efficient = min(table, key=lambda r: r["ms_x_area"])
+    print()
+    print(f"fastest configuration        : {fastest['config']} "
+          f"({fastest['median_ms']} ms)")
+    print(f"area-efficient configuration : {efficient['config']} "
+          f"(time x area = {efficient['ms_x_area']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""repro — user-space emulation framework for domain-specific SoC design.
+
+A Python reproduction of Mack et al., "User-Space Emulation Framework for
+Domain-Specific SoC Design" (IPDPS Workshops 2020, arXiv:2004.01636): a
+runtime for hardware-software co-design of DSSoCs with plug-and-play
+integration points for applications (JSON task graphs over kernel shared
+objects), scheduling heuristics, and accelerator models, plus a prototype
+compilation toolchain that converts monolithic unlabeled code into
+DAG-based applications.
+
+Quickstart::
+
+    from repro import Emulation, validation_workload
+
+    emu = Emulation(config="3C+2F", policy="frfs")
+    result = emu.run(validation_workload({"range_detection": 3}))
+    print(result.stats.summary())
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory and experiment index.
+"""
+
+from repro.appmodel import (
+    GraphBuilder,
+    KernelContext,
+    KernelLibrary,
+    PlatformBinding,
+    TaskGraph,
+    TaskNode,
+    VariableSpec,
+    buffer_spec,
+    dump_graph,
+    graph_from_json,
+    graph_to_json,
+    load_graph,
+    scalar_spec,
+)
+from repro.apps import (
+    build_application,
+    default_applications,
+    default_kernel_library,
+)
+from repro.hardware import (
+    AffinityPlan,
+    DMAModel,
+    DSSoCConfig,
+    FFTAcceleratorDevice,
+    PerformanceModel,
+    SchedulerCostModel,
+    SoCPlatform,
+    odroid_xu3,
+    parse_config,
+    zcu102,
+)
+from repro.runtime import (
+    Emulation,
+    EmulationResult,
+    EmulationStats,
+    ResourceHandler,
+    Scheduler,
+    available_policies,
+    make_scheduler,
+    performance_workload,
+    register_policy,
+    validation_workload,
+)
+from repro.runtime.backends import ThreadedBackend, VirtualBackend
+from repro.runtime.workload import WorkloadSpec, workload_for_counts
+from repro.toolchain import convert
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # application model
+    "GraphBuilder",
+    "KernelContext",
+    "KernelLibrary",
+    "PlatformBinding",
+    "TaskGraph",
+    "TaskNode",
+    "VariableSpec",
+    "buffer_spec",
+    "scalar_spec",
+    "graph_from_json",
+    "graph_to_json",
+    "load_graph",
+    "dump_graph",
+    # applications
+    "build_application",
+    "default_applications",
+    "default_kernel_library",
+    # hardware
+    "AffinityPlan",
+    "DMAModel",
+    "DSSoCConfig",
+    "FFTAcceleratorDevice",
+    "PerformanceModel",
+    "SchedulerCostModel",
+    "SoCPlatform",
+    "odroid_xu3",
+    "parse_config",
+    "zcu102",
+    # runtime
+    "Emulation",
+    "EmulationResult",
+    "EmulationStats",
+    "ResourceHandler",
+    "Scheduler",
+    "available_policies",
+    "make_scheduler",
+    "register_policy",
+    "validation_workload",
+    "performance_workload",
+    "workload_for_counts",
+    "WorkloadSpec",
+    "VirtualBackend",
+    "ThreadedBackend",
+    # toolchain
+    "convert",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Analysis and reporting: turn emulation stats into the paper's artifacts."""
+
+from repro.analysis.boxstats import BoxStats, box_stats
+from repro.analysis.figures import ascii_chart, fig10_chart, fig11_chart
+from repro.analysis.metrics import (
+    per_type_utilization,
+    queue_delay_stats,
+    schedulability_check,
+    throughput_tasks_per_ms,
+)
+from repro.analysis.tables import format_table, render_rows
+from repro.analysis.trace_export import (
+    gantt_ascii,
+    records_as_dicts,
+    to_csv,
+    to_json,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "ascii_chart",
+    "fig10_chart",
+    "fig11_chart",
+    "per_type_utilization",
+    "queue_delay_stats",
+    "schedulability_check",
+    "throughput_tasks_per_ms",
+    "format_table",
+    "render_rows",
+    "gantt_ascii",
+    "records_as_dicts",
+    "to_csv",
+    "to_json",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,52 @@
+"""Box-plot statistics for repeated-iteration experiments (Fig. 9a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus mean, as a box plot would draw."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "mean": self.mean,
+            "n": self.n,
+        }
+
+
+def box_stats(samples: list[float] | np.ndarray) -> BoxStats:
+    """Compute box statistics; requires at least one sample."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("box_stats needs at least one sample")
+    q1, median, q3 = np.percentile(data, [25, 50, 75])
+    return BoxStats(
+        minimum=float(data.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(data.max()),
+        mean=float(data.mean()),
+        n=int(data.size),
+    )

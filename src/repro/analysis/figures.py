@@ -1,0 +1,118 @@
+"""ASCII figure rendering for experiment output.
+
+The bench harnesses print tables; for sweeps (Figs. 10 and 11) a coarse
+terminal plot makes the *shape* — orderings, crossovers, growth — visible
+at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series as a character plot.
+
+    ``log_y=True`` plots log10(y) — the scale Fig. 10 uses, where the three
+    schedulers' overheads span five decades.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("no data to plot")
+    if log_y and any(y <= 0 for _x, y in points):
+        raise ValueError("log_y requires strictly positive y values")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    xs = [x for x, _y in points]
+    ys = [ty(y) for _x, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((ty(y) - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"1e{y_max:.2f}" if log_y else _fmt_tick(y_max)
+    bot_label = f"1e{y_min:.2f}" if log_y else _fmt_tick(y_min)
+    label_width = max(len(top_label), len(bot_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(label_width)
+        elif i == height - 1:
+            label = bot_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + _fmt_tick(x_min)
+        + _fmt_tick(x_max).rjust(width - len(_fmt_tick(x_min)))
+    )
+    lines.append(x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def fig10_chart(points) -> str:
+    """Fig. 10a as an ASCII chart (log-scale execution time vs rate)."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for p in points:
+        series.setdefault(p.policy, []).append((p.rate, p.execution_time_s))
+    for pts in series.values():
+        pts.sort()
+    return ascii_chart(
+        series,
+        title="Fig 10a: execution time (s, log scale) vs injection rate",
+        log_y=True,
+    )
+
+
+def fig11_chart(points, configs: Sequence[str] | None = None) -> str:
+    """Fig. 11 as an ASCII chart (execution time vs rate per config)."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for p in points:
+        if configs is not None and p.config not in configs:
+            continue
+        series.setdefault(p.config, []).append((p.rate, p.execution_time_s))
+    for pts in series.values():
+        pts.sort()
+    return ascii_chart(
+        series,
+        title="Fig 11: execution time (s) vs injection rate",
+    )

@@ -1,0 +1,44 @@
+"""Application model: Listing-1-compatible task graphs.
+
+An application is (a) a *shared object* of kernels — here a registered
+Python module/dict of callables — and (b) a JSON task-graph describing
+variables (with byte-level storage specs), DAG nodes, and per-node platform
+bindings (PE type + ``runfunc`` symbol + optional per-platform shared
+object), exactly mirroring Listing 1 of the paper.
+"""
+
+from repro.appmodel.variables import (
+    VariableSpec,
+    MemoryPool,
+    VariableBinding,
+    VariableTable,
+    scalar_spec,
+    buffer_spec,
+)
+from repro.appmodel.dag import PlatformBinding, TaskNode, TaskGraph
+from repro.appmodel.library import KernelLibrary, KernelContext
+from repro.appmodel.jsonspec import graph_to_json, graph_from_json, load_graph, dump_graph
+from repro.appmodel.builder import GraphBuilder
+from repro.appmodel.instance import ApplicationInstance, TaskInstance, TaskState
+
+__all__ = [
+    "VariableSpec",
+    "MemoryPool",
+    "VariableBinding",
+    "VariableTable",
+    "scalar_spec",
+    "buffer_spec",
+    "PlatformBinding",
+    "TaskNode",
+    "TaskGraph",
+    "KernelLibrary",
+    "KernelContext",
+    "graph_to_json",
+    "graph_from_json",
+    "load_graph",
+    "dump_graph",
+    "GraphBuilder",
+    "ApplicationInstance",
+    "TaskInstance",
+    "TaskState",
+]

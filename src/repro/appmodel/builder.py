@@ -1,0 +1,125 @@
+"""Fluent builder for task graphs.
+
+The paper's second application-integration path: "leverage the existing
+library of kernels ... and define a new application simply by linking them
+together in a novel way."  The builder assembles variables and nodes,
+auto-derives predecessor lists from declared successors (or vice versa), and
+hands back a fully validated :class:`TaskGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.appmodel.dag import PlatformBinding, TaskGraph, TaskNode
+from repro.appmodel.variables import VariableSpec, buffer_spec, scalar_spec
+from repro.common.errors import ApplicationSpecError
+
+
+class GraphBuilder:
+    """Accumulates variables, nodes, and edges, then builds a TaskGraph."""
+
+    def __init__(self, app_name: str, shared_object: str) -> None:
+        self.app_name = app_name
+        self.shared_object = shared_object
+        self._variables: dict[str, VariableSpec] = {}
+        self._node_args: dict[str, tuple[str, ...]] = {}
+        self._node_platforms: dict[str, tuple[PlatformBinding, ...]] = {}
+        self._edges: set[tuple[str, str]] = set()
+        self._setup: str | None = None
+
+    # -- variables -------------------------------------------------------------
+
+    def variable(self, spec: VariableSpec) -> "GraphBuilder":
+        if spec.name in self._variables:
+            raise ApplicationSpecError(f"duplicate variable {spec.name!r}")
+        self._variables[spec.name] = spec
+        return self
+
+    def scalar(self, name: str, value: int = 0, nbytes: int = 4) -> "GraphBuilder":
+        return self.variable(scalar_spec(name, value, nbytes))
+
+    def buffer(
+        self,
+        name: str,
+        alloc_bytes: int,
+        init: bytes | np.ndarray | None = None,
+        dtype: str | None = None,
+    ) -> "GraphBuilder":
+        return self.variable(buffer_spec(name, alloc_bytes, init, dtype))
+
+    def setup(self, symbol: str) -> "GraphBuilder":
+        """Symbol run once per instance at initialization (populates inputs)."""
+        self._setup = symbol
+        return self
+
+    # -- nodes and edges ---------------------------------------------------------
+
+    def node(
+        self,
+        name: str,
+        *,
+        args: tuple[str, ...] | list[str] = (),
+        platforms: list[PlatformBinding] | None = None,
+        cpu: str | None = None,
+        after: tuple[str, ...] | list[str] = (),
+    ) -> "GraphBuilder":
+        """Add a node.
+
+        ``cpu="symbol"`` is shorthand for a single CPU platform binding;
+        ``platforms`` gives the full list.  ``after`` adds dependency edges
+        from the named nodes.
+        """
+        if name in self._node_args:
+            raise ApplicationSpecError(f"duplicate node {name!r}")
+        bindings: list[PlatformBinding] = list(platforms or ())
+        if cpu is not None:
+            bindings.insert(0, PlatformBinding(name="cpu", runfunc=cpu))
+        if not bindings:
+            raise ApplicationSpecError(f"node {name!r}: no platform bindings given")
+        self._node_args[name] = tuple(args)
+        self._node_platforms[name] = tuple(bindings)
+        for pred in after:
+            self.edge(pred, name)
+        return self
+
+    def edge(self, src: str, dst: str) -> "GraphBuilder":
+        """Declare that ``dst`` depends on ``src``."""
+        self._edges.add((src, dst))
+        return self
+
+    def chain(self, *names: str) -> "GraphBuilder":
+        """Declare a linear dependency chain across already-added nodes."""
+        for src, dst in zip(names, names[1:]):
+            self.edge(src, dst)
+        return self
+
+    # -- build --------------------------------------------------------------------
+
+    def build(self) -> TaskGraph:
+        preds: dict[str, list[str]] = {n: [] for n in self._node_args}
+        succs: dict[str, list[str]] = {n: [] for n in self._node_args}
+        for src, dst in sorted(self._edges):
+            if src not in self._node_args:
+                raise ApplicationSpecError(f"edge references unknown node {src!r}")
+            if dst not in self._node_args:
+                raise ApplicationSpecError(f"edge references unknown node {dst!r}")
+            succs[src].append(dst)
+            preds[dst].append(src)
+        nodes = {
+            name: TaskNode(
+                name=name,
+                arguments=self._node_args[name],
+                predecessors=tuple(preds[name]),
+                successors=tuple(succs[name]),
+                platforms=self._node_platforms[name],
+            )
+            for name in self._node_args
+        }
+        return TaskGraph(
+            app_name=self.app_name,
+            shared_object=self.shared_object,
+            variables=self._variables,
+            nodes=nodes,
+            setup=self._setup,
+        )

@@ -1,0 +1,154 @@
+"""JSON (de)serialization of application task graphs — Listing 1 schema.
+
+The on-disk format matches the paper exactly::
+
+    {
+      "AppName": "range_detection",
+      "SharedObject": "range_detection.so",
+      "Variables": { "<name>": {"bytes": .., "is_ptr": ..,
+                                "ptr_alloc_bytes": .., "val": [..]}, ... },
+      "DAG": { "<node>": {"arguments": [..], "predecessors": [..],
+                          "successors": [..],
+                          "platforms": [{"name": .., "runfunc": ..,
+                                         "shared_object": ..?}, ..]}, ... }
+    }
+
+Two framework extensions are emitted/accepted when present and are ignored
+by schema-strict consumers: a per-variable ``dtype`` hint and a top-level
+``Setup`` symbol run at instance initialization.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.appmodel.dag import PlatformBinding, TaskGraph, TaskNode
+from repro.appmodel.variables import VariableSpec
+from repro.common.errors import ApplicationSpecError
+
+
+def _require(mapping: dict, key: str, context: str) -> Any:
+    if key not in mapping:
+        raise ApplicationSpecError(f"{context}: missing required key {key!r}")
+    return mapping[key]
+
+
+def variable_from_json(name: str, data: dict) -> VariableSpec:
+    context = f"variable {name!r}"
+    if not isinstance(data, dict):
+        raise ApplicationSpecError(f"{context}: expected an object")
+    return VariableSpec(
+        name=name,
+        bytes=int(_require(data, "bytes", context)),
+        is_ptr=bool(_require(data, "is_ptr", context)),
+        ptr_alloc_bytes=int(_require(data, "ptr_alloc_bytes", context)),
+        val=tuple(int(b) for b in _require(data, "val", context)),
+        dtype_hint=data.get("dtype"),
+    )
+
+
+def variable_to_json(spec: VariableSpec) -> dict:
+    data: dict[str, Any] = {
+        "bytes": spec.bytes,
+        "is_ptr": spec.is_ptr,
+        "ptr_alloc_bytes": spec.ptr_alloc_bytes,
+        "val": list(spec.val),
+    }
+    if spec.dtype_hint:
+        data["dtype"] = spec.dtype_hint
+    return data
+
+
+def node_from_json(name: str, data: dict) -> TaskNode:
+    context = f"node {name!r}"
+    if not isinstance(data, dict):
+        raise ApplicationSpecError(f"{context}: expected an object")
+    platforms_raw = _require(data, "platforms", context)
+    if not isinstance(platforms_raw, list) or not platforms_raw:
+        raise ApplicationSpecError(f"{context}: platforms must be a non-empty list")
+    platforms = []
+    for entry in platforms_raw:
+        platforms.append(
+            PlatformBinding(
+                name=str(_require(entry, "name", f"{context} platform")),
+                runfunc=str(_require(entry, "runfunc", f"{context} platform")),
+                shared_object=entry.get("shared_object"),
+            )
+        )
+    return TaskNode(
+        name=name,
+        arguments=tuple(data.get("arguments", ())),
+        predecessors=tuple(_require(data, "predecessors", context)),
+        successors=tuple(_require(data, "successors", context)),
+        platforms=tuple(platforms),
+    )
+
+
+def node_to_json(node: TaskNode) -> dict:
+    platforms = []
+    for p in node.platforms:
+        entry: dict[str, Any] = {"name": p.name, "runfunc": p.runfunc}
+        if p.shared_object:
+            entry["shared_object"] = p.shared_object
+        platforms.append(entry)
+    return {
+        "arguments": list(node.arguments),
+        "predecessors": list(node.predecessors),
+        "successors": list(node.successors),
+        "platforms": platforms,
+    }
+
+
+def graph_from_json(data: dict) -> TaskGraph:
+    """Build a validated :class:`TaskGraph` from a parsed JSON object."""
+    if not isinstance(data, dict):
+        raise ApplicationSpecError("application spec must be a JSON object")
+    app_name = str(_require(data, "AppName", "application"))
+    shared_object = str(_require(data, "SharedObject", "application"))
+    variables_raw = _require(data, "Variables", f"app {app_name!r}")
+    dag_raw = _require(data, "DAG", f"app {app_name!r}")
+    variables = {
+        name: variable_from_json(name, spec) for name, spec in variables_raw.items()
+    }
+    nodes = {name: node_from_json(name, spec) for name, spec in dag_raw.items()}
+    return TaskGraph(
+        app_name=app_name,
+        shared_object=shared_object,
+        variables=variables,
+        nodes=nodes,
+        setup=data.get("Setup"),
+    )
+
+
+def graph_to_json(graph: TaskGraph) -> dict:
+    """Serialize a :class:`TaskGraph` back to the Listing 1 schema."""
+    data: dict[str, Any] = {
+        "AppName": graph.app_name,
+        "SharedObject": graph.shared_object,
+        "Variables": {
+            name: variable_to_json(spec) for name, spec in graph.variables.items()
+        },
+        "DAG": {name: node_to_json(node) for name, node in graph.nodes.items()},
+    }
+    if graph.setup:
+        data["Setup"] = graph.setup
+    return data
+
+
+def load_graph(path: str | Path) -> TaskGraph:
+    """Parse an application JSON file into a validated task graph."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ApplicationSpecError(f"{path}: invalid JSON: {exc}") from exc
+    return graph_from_json(data)
+
+
+def dump_graph(graph: TaskGraph, path: str | Path) -> None:
+    """Write a task graph to a JSON file in the Listing 1 schema."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(graph_to_json(graph), fh, indent=2)
+        fh.write("\n")

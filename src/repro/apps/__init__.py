@@ -1,0 +1,27 @@
+"""Domain applications: the paper's SDR workload suite.
+
+Four applications from the software-defined-radio domain, each expressed as
+a kernel shared-object plus a Listing-1 task graph:
+
+* :mod:`repro.apps.range_detection` — radar range detection (Fig. 2), 6 tasks.
+* :mod:`repro.apps.pulse_doppler` — pulse-Doppler radar (Fig. 8), 770 tasks.
+* :mod:`repro.apps.wifi_tx` — WiFi transmitter chain (Fig. 7), 7 tasks.
+* :mod:`repro.apps.wifi_rx` — WiFi receiver chain (Fig. 7), 9 tasks.
+
+:mod:`repro.apps.registry` wires all four into a ready-to-use application
+repository + kernel library.
+"""
+
+from repro.apps.registry import (
+    default_kernel_library,
+    default_applications,
+    build_application,
+    APPLICATION_BUILDERS,
+)
+
+__all__ = [
+    "default_kernel_library",
+    "default_applications",
+    "build_application",
+    "APPLICATION_BUILDERS",
+]

@@ -1,0 +1,36 @@
+"""Signal-processing kernel primitives.
+
+Pure NumPy functions (array in → array out) used by the application kernel
+shared-objects, the toolchain's recognition library, and the tests.  Each
+module covers one block family from the paper's application diagrams.
+"""
+
+from repro.apps.kernels import (
+    channel,
+    coding,
+    correlation,
+    crc,
+    doppler,
+    fftops,
+    interleaver,
+    lfm,
+    matched_filter,
+    modulation,
+    pilots,
+    scrambler,
+)
+
+__all__ = [
+    "channel",
+    "coding",
+    "correlation",
+    "crc",
+    "doppler",
+    "fftops",
+    "interleaver",
+    "lfm",
+    "matched_filter",
+    "modulation",
+    "pilots",
+    "scrambler",
+]

@@ -1,0 +1,58 @@
+"""Pulse-Doppler radar processing helpers (Fig. 8).
+
+A burst of ``m`` pulses is correlated per pulse against the reference
+waveform (range compression), the resulting m×n matrix is *realigned*
+(transposed so slow time becomes contiguous), and an FFT across pulses in
+each range bin resolves Doppler; the peak of the range-Doppler map gives
+the target's range gate and velocity bin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def realign_matrix(rows: np.ndarray, n_pulses: int, n_samples: int) -> np.ndarray:
+    """Reshape a flat pulse-major buffer to range-major (transpose).
+
+    Input layout: ``rows[p * n_samples + s]`` (pulse p, range sample s);
+    output layout: ``out[s * n_pulses + p]``.
+    """
+    data = np.asarray(rows)
+    if data.size != n_pulses * n_samples:
+        raise ValueError(
+            f"buffer of {data.size} != {n_pulses} pulses x {n_samples} samples"
+        )
+    return data.reshape(n_pulses, n_samples).T.reshape(-1).copy()
+
+
+def doppler_spectrum(range_bin: np.ndarray) -> np.ndarray:
+    """FFT across slow time for one range bin, centered with fftshift."""
+    return np.fft.fftshift(np.fft.fft(np.asarray(range_bin)))
+
+
+def range_doppler_map(
+    pulses: np.ndarray, reference: np.ndarray
+) -> np.ndarray:
+    """Reference implementation of the full pipeline (used by tests).
+
+    ``pulses`` is (m, n) complex; returns the (n_bins_kept, m) magnitude map
+    where n_bins_kept = n (all range gates).
+    """
+    pulses = np.asarray(pulses, dtype=np.complex128)
+    reference = np.asarray(reference, dtype=np.complex128)
+    m, n = pulses.shape
+    if reference.shape != (n,):
+        raise ValueError("reference length must match pulse length")
+    ref_spec = np.conj(np.fft.fft(reference))
+    compressed = np.fft.ifft(np.fft.fft(pulses, axis=1) * ref_spec, axis=1)
+    # slow-time FFT per range gate
+    return np.abs(np.fft.fftshift(np.fft.fft(compressed, axis=0), axes=0)).T
+
+
+def find_peak_2d(map_matrix: np.ndarray) -> tuple[int, int, float]:
+    """(range_gate, doppler_bin, magnitude) of the map's maximum."""
+    mat = np.asarray(map_matrix)
+    flat_idx = int(np.argmax(np.abs(mat)))
+    r, d = np.unravel_index(flat_idx, mat.shape)
+    return int(r), int(d), float(np.abs(mat[r, d]))

@@ -1,0 +1,39 @@
+"""Block interleaver / deinterleaver.
+
+A row-in / column-out block interleaver spreads adjacent coded bits across
+the OFDM symbol so burst errors decorrelate before Viterbi decoding — the
+802.11 first-permutation structure, parameterized by column count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def interleave(bits: np.ndarray, n_columns: int = 16) -> np.ndarray:
+    """Write row-major, read column-major.  Length must divide evenly."""
+    data = np.asarray(bits)
+    if data.ndim != 1:
+        raise ValueError("bits must be a 1-D array")
+    if n_columns <= 0:
+        raise ValueError("n_columns must be positive")
+    if data.size % n_columns != 0:
+        raise ValueError(
+            f"length {data.size} not divisible by {n_columns} columns"
+        )
+    return data.reshape(-1, n_columns).T.reshape(-1).copy()
+
+
+def deinterleave(bits: np.ndarray, n_columns: int = 16) -> np.ndarray:
+    """Inverse of :func:`interleave` with the same column count."""
+    data = np.asarray(bits)
+    if data.ndim != 1:
+        raise ValueError("bits must be a 1-D array")
+    if n_columns <= 0:
+        raise ValueError("n_columns must be positive")
+    if data.size % n_columns != 0:
+        raise ValueError(
+            f"length {data.size} not divisible by {n_columns} columns"
+        )
+    n_rows = data.size // n_columns
+    return data.reshape(n_columns, n_rows).T.reshape(-1).copy()

@@ -1,0 +1,35 @@
+"""QPSK modulation / demodulation with Gray mapping.
+
+Bit pairs map to constellation points at ±1/√2 ± j/√2; demodulation is a
+hard decision on the sign of each axis, so ``demod(mod(x)) == x`` for any
+bit stream, and small AWGN perturbations are rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SCALE = 1.0 / np.sqrt(2.0)
+
+
+def qpsk_modulate(bits: np.ndarray) -> np.ndarray:
+    """Map bit pairs (b0 = I, b1 = Q) to complex symbols."""
+    data = np.asarray(bits, dtype=np.uint8)
+    if data.ndim != 1 or data.size % 2 != 0:
+        raise ValueError("bits must be 1-D with even length")
+    if np.any(data > 1):
+        raise ValueError("bits must be 0/1 valued")
+    i = 1.0 - 2.0 * data[0::2]  # bit 0 -> +1, bit 1 -> -1
+    q = 1.0 - 2.0 * data[1::2]
+    return (_SCALE * (i + 1j * q)).astype(np.complex128)
+
+
+def qpsk_demodulate(symbols: np.ndarray) -> np.ndarray:
+    """Hard-decision demap back to a bit stream."""
+    sym = np.asarray(symbols)
+    if sym.ndim != 1:
+        raise ValueError("symbols must be a 1-D array")
+    bits = np.empty(2 * sym.size, dtype=np.uint8)
+    bits[0::2] = (sym.real < 0).astype(np.uint8)
+    bits[1::2] = (sym.imag < 0).astype(np.uint8)
+    return bits

@@ -1,0 +1,42 @@
+"""802.11-style frame scrambler.
+
+A 7-bit LFSR with polynomial x⁷ + x⁴ + 1 whitens the payload bits; the
+identical operation descrambles (XOR with the same sequence), so WiFi RX's
+descrambler reuses the generator with the same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_SEED = 0b1011101  # non-zero 7-bit initial state (802.11 example)
+
+
+def scrambler_sequence(n_bits: int, seed: int = _DEFAULT_SEED) -> np.ndarray:
+    """The first ``n_bits`` of the LFSR output sequence (uint8 0/1)."""
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    if not 0 < seed < 128:
+        raise ValueError("seed must be a non-zero 7-bit value")
+    state = seed
+    out = np.empty(n_bits, dtype=np.uint8)
+    for i in range(n_bits):
+        bit = ((state >> 6) ^ (state >> 3)) & 1  # taps at x^7 and x^4
+        state = ((state << 1) | bit) & 0x7F
+        out[i] = bit
+    return out
+
+
+def scramble(bits: np.ndarray, seed: int = _DEFAULT_SEED) -> np.ndarray:
+    """XOR payload bits with the LFSR sequence."""
+    data = np.asarray(bits, dtype=np.uint8)
+    if data.ndim != 1:
+        raise ValueError("bits must be a 1-D array")
+    if np.any(data > 1):
+        raise ValueError("bits must be 0/1 valued")
+    return data ^ scrambler_sequence(data.size, seed)
+
+
+def descramble(bits: np.ndarray, seed: int = _DEFAULT_SEED) -> np.ndarray:
+    """Inverse of :func:`scramble` (self-inverse XOR whitening)."""
+    return scramble(bits, seed)

@@ -1,0 +1,119 @@
+"""Shared WiFi frame format and reference chain (Fig. 7).
+
+One frame carries 64 payload bits (the paper: "64 bits of data in one
+frame").  Rate-1/2 K=7 coding with termination yields 140 coded bits,
+zero-padded to 192 so they fill exactly two 48-data-subcarrier OFDM symbols
+after QPSK.  A 32-sample known preamble precedes the 128 payload samples.
+
+The pure-function reference chain here is used by the RX application's
+setup (to synthesize its received stream), by the tests (TX→AWGN→RX
+round-trip), and by the toolchain's recognition probes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.kernels import (
+    coding,
+    crc,
+    interleaver,
+    matched_filter,
+    modulation,
+    pilots,
+    scrambler,
+)
+
+N_PAYLOAD_BITS = 64
+N_CODED_BITS = 2 * (N_PAYLOAD_BITS + coding.K - 1)   # 140
+N_OFDM_SYMBOLS = 2
+BITS_PER_SYMBOL = 2 * pilots.N_DATA                   # 96 (QPSK x 48 carriers)
+N_PADDED_BITS = N_OFDM_SYMBOLS * BITS_PER_SYMBOL      # 192
+INTERLEAVE_COLUMNS = 16
+PREAMBLE_LEN = 32
+PAYLOAD_SAMPLES = N_OFDM_SYMBOLS * pilots.SYMBOL_SIZE  # 128
+FRAME_SAMPLES = PREAMBLE_LEN + PAYLOAD_SAMPLES         # 160
+
+
+def pad_coded_bits(coded: np.ndarray) -> np.ndarray:
+    """Zero-pad the 140 coded bits to the 192-bit OFDM payload."""
+    coded = np.asarray(coded, dtype=np.uint8)
+    if coded.size > N_PADDED_BITS:
+        raise ValueError(f"{coded.size} coded bits exceed {N_PADDED_BITS}")
+    out = np.zeros(N_PADDED_BITS, dtype=np.uint8)
+    out[: coded.size] = coded
+    return out
+
+
+def interleave_frame(bits: np.ndarray) -> np.ndarray:
+    """Interleave each 96-bit OFDM-symbol block independently."""
+    data = np.asarray(bits, dtype=np.uint8).reshape(N_OFDM_SYMBOLS, BITS_PER_SYMBOL)
+    return np.concatenate(
+        [interleaver.interleave(row, INTERLEAVE_COLUMNS) for row in data]
+    )
+
+
+def deinterleave_frame(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`interleave_frame`."""
+    data = np.asarray(bits, dtype=np.uint8).reshape(N_OFDM_SYMBOLS, BITS_PER_SYMBOL)
+    return np.concatenate(
+        [interleaver.deinterleave(row, INTERLEAVE_COLUMNS) for row in data]
+    )
+
+
+def map_to_ofdm(symbols: np.ndarray) -> np.ndarray:
+    """96 QPSK symbols → 2×64 frequency-domain OFDM symbols (flattened)."""
+    sym = np.asarray(symbols).reshape(N_OFDM_SYMBOLS, pilots.N_DATA)
+    return np.concatenate([pilots.insert_pilots(row) for row in sym])
+
+
+def unmap_from_ofdm(freq: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`map_to_ofdm`: extract the 96 data symbols."""
+    frames = np.asarray(freq).reshape(N_OFDM_SYMBOLS, pilots.SYMBOL_SIZE)
+    return np.concatenate([pilots.remove_pilots(row) for row in frames])
+
+
+def ofdm_ifft(freq: np.ndarray) -> np.ndarray:
+    """Per-symbol 64-point unitary IFFT (frequency → time), flattened.
+
+    Unitary normalization keeps the payload's per-sample power on the same
+    scale as the unit-amplitude preamble, so channel SNR applies uniformly
+    across the frame (an unnormalized IFFT would leave the payload ~16×
+    quieter than the preamble).
+    """
+    frames = np.asarray(freq).reshape(N_OFDM_SYMBOLS, pilots.SYMBOL_SIZE)
+    return np.fft.ifft(frames, axis=1, norm="ortho").reshape(-1)
+
+
+def ofdm_fft(time: np.ndarray) -> np.ndarray:
+    """Per-symbol 64-point unitary FFT (time → frequency), flattened."""
+    frames = np.asarray(time).reshape(N_OFDM_SYMBOLS, pilots.SYMBOL_SIZE)
+    return np.fft.fft(frames, axis=1, norm="ortho").reshape(-1)
+
+
+def transmit(payload_bits: np.ndarray) -> tuple[np.ndarray, int]:
+    """Reference TX chain: returns (time-domain frame incl. preamble, crc32)."""
+    payload = np.asarray(payload_bits, dtype=np.uint8)
+    if payload.size != N_PAYLOAD_BITS:
+        raise ValueError(f"expected {N_PAYLOAD_BITS} payload bits")
+    scrambled = scrambler.scramble(payload)
+    coded = pad_coded_bits(coding.conv_encode(scrambled))
+    interleaved = interleave_frame(coded)
+    symbols = modulation.qpsk_modulate(interleaved)
+    freq = map_to_ofdm(symbols)
+    time = ofdm_ifft(freq)
+    frame_crc = crc.crc32_bits(payload)
+    frame = np.concatenate([matched_filter.preamble_sequence(PREAMBLE_LEN), time])
+    return frame, frame_crc
+
+
+def receive(payload_time: np.ndarray) -> np.ndarray:
+    """Reference RX chain from extracted payload samples to payload bits."""
+    freq = ofdm_fft(payload_time)
+    symbols = unmap_from_ofdm(freq)
+    bits = modulation.qpsk_demodulate(symbols)
+    deinterleaved = deinterleave_frame(bits)
+    decoded = coding.viterbi_decode(
+        deinterleaved[:N_CODED_BITS], N_PAYLOAD_BITS
+    )
+    return scrambler.descramble(decoded)

@@ -1,0 +1,212 @@
+"""WiFi receiver application (Fig. 7, right) — 9 tasks.
+
+A linear chain, one task per block, with the figure's "Match Filter &
+Payload Extraction" split into two tasks and an explicit CRC check to reach
+the paper's Table I task count of 9::
+
+    MATCH_FILTER ► PAYLOAD_EXTRACT ► FFT ► PILOT_REMOVE ► QPSK_DEMOD
+                 ► DEINTERLEAVER ► VITERBI ► DESCRAMBLER ► CRC_CHECK
+
+Instance setup synthesizes the received stream by running the reference TX
+chain, delaying the frame by a random-but-seeded offset, and passing it
+through the AWGN channel block — the full left-to-right path of Fig. 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.appmodel.builder import GraphBuilder
+from repro.appmodel.dag import PlatformBinding, TaskGraph
+from repro.appmodel.library import KernelContext
+from repro.apps import wifi_common as wc
+from repro.apps import wifi_tx
+from repro.apps.kernels import (
+    channel,
+    coding,
+    crc,
+    matched_filter,
+    modulation,
+    pilots,
+    scrambler,
+)
+
+APP_NAME = "wifi_rx"
+SHARED_OBJECT = "wifi_rx.so"
+ACCEL_SHARED_OBJECT = "fft_accel.so"
+
+RX_SNR_DB = 25.0
+FRAME_DELAY = 11           # deterministic frame offset in the stream
+STREAM_SAMPLES = 208       # delay + 160-sample frame + slack
+RX_SEED = 0xF1F0
+
+
+# -- kernels ---------------------------------------------------------------------
+
+
+def wifi_rx_setup(ctx: KernelContext) -> None:
+    """Synthesize the received stream: TX chain → delay → AWGN channel."""
+    payload = wifi_tx.reference_payload()
+    frame, frame_crc = wc.transmit(payload)
+    stream = np.zeros(STREAM_SAMPLES, dtype=np.complex128)
+    stream[FRAME_DELAY : FRAME_DELAY + frame.size] = frame
+    rng = np.random.default_rng(RX_SEED)
+    noisy = channel.awgn(stream, RX_SNR_DB, rng)
+    ctx.complex64("rx_stream")[:] = noisy.astype(np.complex64)
+    ctx.array("tx_crc", np.uint32)[0] = np.uint32(frame_crc)
+    ctx.array("true_payload", np.uint8)[:] = payload
+
+
+def wifi_match_filter(ctx: KernelContext) -> None:
+    """Correlate against the known preamble; store the frame-start index."""
+    stream = ctx.complex64("rx_stream").astype(np.complex128)
+    template = matched_filter.preamble_sequence(wc.PREAMBLE_LEN)
+    ctx.set_int("frame_start", matched_filter.detect_frame_start(stream, template))
+
+
+def wifi_payload_extract(ctx: KernelContext) -> None:
+    start = ctx.int("frame_start")
+    stream = ctx.complex64("rx_stream").astype(np.complex128)
+    payload = matched_filter.extract_payload(
+        stream, start, wc.PREAMBLE_LEN, wc.PAYLOAD_SAMPLES
+    )
+    ctx.complex64("payload_time")[:] = payload.astype(np.complex64)
+
+
+def wifi_fft_CPU(ctx: KernelContext) -> None:
+    ctx.complex64("payload_freq")[:] = wc.ofdm_fft(
+        ctx.complex64("payload_time")
+    ).astype(np.complex64)
+
+
+def wifi_fft_ACCEL(ctx: KernelContext) -> None:
+    """Per-OFDM-symbol FFT on the fabric accelerator (two 64-pt jobs)."""
+    device = ctx.device
+    if device is None:
+        raise RuntimeError("wifi_fft_ACCEL invoked without a device")
+    time = ctx.complex64("payload_time").reshape(
+        wc.N_OFDM_SYMBOLS, pilots.SYMBOL_SIZE
+    )
+    out = ctx.complex64("payload_freq").reshape(
+        wc.N_OFDM_SYMBOLS, pilots.SYMBOL_SIZE
+    )
+    for row in range(wc.N_OFDM_SYMBOLS):
+        device.load(time[row], inverse=False)
+        device.start()
+        device.step()
+        out[row] = device.read_result()
+
+
+def wifi_pilot_remove(ctx: KernelContext) -> None:
+    ctx.complex64("data_syms")[:] = wc.unmap_from_ofdm(
+        ctx.complex64("payload_freq")
+    ).astype(np.complex64)
+
+
+def wifi_qpsk_demod(ctx: KernelContext) -> None:
+    ctx.array("demod_bits", np.uint8)[:] = modulation.qpsk_demodulate(
+        ctx.complex64("data_syms").astype(np.complex128)
+    )
+
+
+def wifi_deinterleaver(ctx: KernelContext) -> None:
+    ctx.array("deint_bits", np.uint8)[:] = wc.deinterleave_frame(
+        ctx.array("demod_bits", np.uint8)
+    )
+
+
+def wifi_viterbi_decode(ctx: KernelContext) -> None:
+    decoded = coding.viterbi_decode(
+        ctx.array("deint_bits", np.uint8)[: wc.N_CODED_BITS], wc.N_PAYLOAD_BITS
+    )
+    ctx.array("decoded_bits", np.uint8)[:] = decoded
+
+
+def wifi_descrambler(ctx: KernelContext) -> None:
+    ctx.array("payload_out", np.uint8)[:] = scrambler.descramble(
+        ctx.array("decoded_bits", np.uint8)
+    )
+
+
+def wifi_crc_check(ctx: KernelContext) -> None:
+    """Recompute the payload CRC and compare against the transmitted one."""
+    computed = crc.crc32_bits(ctx.array("payload_out", np.uint8))
+    expected = int(ctx.array("tx_crc", np.uint32)[0])
+    ctx.set_int("crc_ok", 1 if computed == expected else 0)
+
+
+CPU_KERNELS = {
+    "wifi_rx_setup": wifi_rx_setup,
+    "wifi_match_filter": wifi_match_filter,
+    "wifi_payload_extract": wifi_payload_extract,
+    "wifi_fft_CPU": wifi_fft_CPU,
+    "wifi_pilot_remove": wifi_pilot_remove,
+    "wifi_qpsk_demod": wifi_qpsk_demod,
+    "wifi_deinterleaver": wifi_deinterleaver,
+    "wifi_viterbi_decode": wifi_viterbi_decode,
+    "wifi_descrambler": wifi_descrambler,
+    "wifi_crc_check": wifi_crc_check,
+}
+
+ACCEL_KERNELS = {"wifi_fft_ACCEL": wifi_fft_ACCEL}
+
+
+# -- task graph -------------------------------------------------------------------
+
+
+def build_graph() -> TaskGraph:
+    """The 9-task WiFi RX archetype."""
+    b = GraphBuilder(APP_NAME, SHARED_OBJECT)
+    b.scalar("frame_start", 0)
+    b.scalar("crc_ok", 0)
+    b.buffer("rx_stream", STREAM_SAMPLES * 8, dtype="complex64")
+    b.buffer("payload_time", wc.PAYLOAD_SAMPLES * 8, dtype="complex64")
+    b.buffer("payload_freq", wc.PAYLOAD_SAMPLES * 8, dtype="complex64")
+    b.buffer("data_syms", wc.N_PADDED_BITS // 2 * 8, dtype="complex64")
+    b.buffer("demod_bits", wc.N_PADDED_BITS, dtype="uint8")
+    b.buffer("deint_bits", wc.N_PADDED_BITS, dtype="uint8")
+    b.buffer("decoded_bits", wc.N_PAYLOAD_BITS, dtype="uint8")
+    b.buffer("payload_out", wc.N_PAYLOAD_BITS, dtype="uint8")
+    b.buffer("tx_crc", 4, dtype="uint32")
+    b.buffer("true_payload", wc.N_PAYLOAD_BITS, dtype="uint8")
+    b.setup("wifi_rx_setup")
+
+    b.node("MATCH_FILTER", args=["rx_stream", "frame_start"],
+           cpu="wifi_match_filter")
+    b.node("PAYLOAD_EXTRACT", args=["rx_stream", "frame_start", "payload_time"],
+           cpu="wifi_payload_extract", after=["MATCH_FILTER"])
+    b.node(
+        "FFT",
+        args=["payload_time", "payload_freq"],
+        platforms=[
+            PlatformBinding(name="cpu", runfunc="wifi_fft_CPU"),
+            PlatformBinding(
+                name="fft", runfunc="wifi_fft_ACCEL",
+                shared_object=ACCEL_SHARED_OBJECT,
+            ),
+        ],
+        after=["PAYLOAD_EXTRACT"],
+    )
+    b.node("PILOT_REMOVE", args=["payload_freq", "data_syms"],
+           cpu="wifi_pilot_remove", after=["FFT"])
+    b.node("QPSK_DEMOD", args=["data_syms", "demod_bits"],
+           cpu="wifi_qpsk_demod", after=["PILOT_REMOVE"])
+    b.node("DEINTERLEAVER", args=["demod_bits", "deint_bits"],
+           cpu="wifi_deinterleaver", after=["QPSK_DEMOD"])
+    b.node("VITERBI", args=["deint_bits", "decoded_bits"],
+           cpu="wifi_viterbi_decode", after=["DEINTERLEAVER"])
+    b.node("DESCRAMBLER", args=["decoded_bits", "payload_out"],
+           cpu="wifi_descrambler", after=["VITERBI"])
+    b.node("CRC_CHECK", args=["payload_out", "tx_crc", "crc_ok"],
+           cpu="wifi_crc_check", after=["DESCRAMBLER"])
+    return b.build()
+
+
+def verify_output(instance) -> bool:
+    """Functional check: decoded payload matches and the CRC verified."""
+    decoded = instance.variables["payload_out"].as_array(np.uint8)
+    truth = instance.variables["true_payload"].as_array(np.uint8)
+    return (
+        instance.variables["crc_ok"].as_int() == 1
+        and bool(np.array_equal(decoded, truth))
+    )

@@ -1,0 +1,161 @@
+"""WiFi transmitter application (Fig. 7, left) — 7 tasks.
+
+A linear chain, one task per block::
+
+    SCRAMBLER ► ENCODER ► INTERLEAVER ► QPSK_MOD ► PILOT_INSERT ► IFFT ► CRC
+
+following the figure's order (the CRC is generated over the payload as the
+frame's trailer after modulation).  The IFFT node carries an ``fft``
+accelerator binding alongside its CPU binding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.appmodel.builder import GraphBuilder
+from repro.appmodel.dag import PlatformBinding, TaskGraph
+from repro.appmodel.library import KernelContext
+from repro.apps import wifi_common as wc
+from repro.apps.kernels import coding, crc, modulation, pilots, scrambler
+
+APP_NAME = "wifi_tx"
+SHARED_OBJECT = "wifi_tx.so"
+ACCEL_SHARED_OBJECT = "fft_accel.so"
+
+PAYLOAD_SEED = 0x3A5F
+
+
+def reference_payload(seed: int = PAYLOAD_SEED) -> np.ndarray:
+    """The deterministic 64-bit payload used by standalone instances."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=wc.N_PAYLOAD_BITS).astype(np.uint8)
+
+
+# -- kernels ---------------------------------------------------------------------
+
+
+def wifi_tx_setup(ctx: KernelContext) -> None:
+    """Instance initialization: load the payload bits."""
+    ctx.array("payload_bits", np.uint8)[:] = reference_payload()
+
+
+def wifi_scrambler(ctx: KernelContext) -> None:
+    ctx.array("scrambled", np.uint8)[:] = scrambler.scramble(
+        ctx.array("payload_bits", np.uint8)
+    )
+
+
+def wifi_encoder(ctx: KernelContext) -> None:
+    coded = coding.conv_encode(ctx.array("scrambled", np.uint8))
+    ctx.array("coded", np.uint8)[:] = wc.pad_coded_bits(coded)
+
+
+def wifi_interleaver(ctx: KernelContext) -> None:
+    ctx.array("interleaved", np.uint8)[:] = wc.interleave_frame(
+        ctx.array("coded", np.uint8)
+    )
+
+
+def wifi_qpsk_mod(ctx: KernelContext) -> None:
+    ctx.complex64("symbols")[:] = modulation.qpsk_modulate(
+        ctx.array("interleaved", np.uint8)
+    ).astype(np.complex64)
+
+
+def wifi_pilot_insert(ctx: KernelContext) -> None:
+    ctx.complex64("ofdm_freq")[:] = wc.map_to_ofdm(
+        ctx.complex64("symbols")
+    ).astype(np.complex64)
+
+
+def wifi_ifft_CPU(ctx: KernelContext) -> None:
+    ctx.complex64("tx_time")[:] = wc.ofdm_ifft(
+        ctx.complex64("ofdm_freq")
+    ).astype(np.complex64)
+
+
+def wifi_ifft_ACCEL(ctx: KernelContext) -> None:
+    """Per-OFDM-symbol IFFT on the fabric accelerator (two 64-pt jobs)."""
+    device = ctx.device
+    if device is None:
+        raise RuntimeError("wifi_ifft_ACCEL invoked without a device")
+    freq = ctx.complex64("ofdm_freq").reshape(wc.N_OFDM_SYMBOLS, pilots.SYMBOL_SIZE)
+    out = ctx.complex64("tx_time").reshape(wc.N_OFDM_SYMBOLS, pilots.SYMBOL_SIZE)
+    for row in range(wc.N_OFDM_SYMBOLS):
+        device.load(freq[row], inverse=True)
+        device.start()
+        device.step()
+        out[row] = device.read_result()
+
+
+def wifi_crc(ctx: KernelContext) -> None:
+    """Frame trailer: CRC-32 over the payload bits."""
+    value = crc.crc32_bits(ctx.array("payload_bits", np.uint8))
+    ctx.array("crc_out", np.uint32)[0] = np.uint32(value)
+
+
+CPU_KERNELS = {
+    "wifi_tx_setup": wifi_tx_setup,
+    "wifi_scrambler": wifi_scrambler,
+    "wifi_encoder": wifi_encoder,
+    "wifi_interleaver": wifi_interleaver,
+    "wifi_qpsk_mod": wifi_qpsk_mod,
+    "wifi_pilot_insert": wifi_pilot_insert,
+    "wifi_ifft_CPU": wifi_ifft_CPU,
+    "wifi_crc": wifi_crc,
+}
+
+ACCEL_KERNELS = {"wifi_ifft_ACCEL": wifi_ifft_ACCEL}
+
+
+# -- task graph -------------------------------------------------------------------
+
+
+def build_graph() -> TaskGraph:
+    """The 7-task WiFi TX archetype."""
+    b = GraphBuilder(APP_NAME, SHARED_OBJECT)
+    b.buffer("payload_bits", wc.N_PAYLOAD_BITS, dtype="uint8")
+    b.buffer("scrambled", wc.N_PAYLOAD_BITS, dtype="uint8")
+    b.buffer("coded", wc.N_PADDED_BITS, dtype="uint8")
+    b.buffer("interleaved", wc.N_PADDED_BITS, dtype="uint8")
+    b.buffer("symbols", wc.N_PADDED_BITS // 2 * 8, dtype="complex64")
+    b.buffer("ofdm_freq", wc.PAYLOAD_SAMPLES * 8, dtype="complex64")
+    b.buffer("tx_time", wc.PAYLOAD_SAMPLES * 8, dtype="complex64")
+    b.buffer("crc_out", 4, dtype="uint32")
+    b.setup("wifi_tx_setup")
+
+    b.node("SCRAMBLER", args=["payload_bits", "scrambled"], cpu="wifi_scrambler")
+    b.node("ENCODER", args=["scrambled", "coded"], cpu="wifi_encoder",
+           after=["SCRAMBLER"])
+    b.node("INTERLEAVER", args=["coded", "interleaved"], cpu="wifi_interleaver",
+           after=["ENCODER"])
+    b.node("QPSK_MOD", args=["interleaved", "symbols"], cpu="wifi_qpsk_mod",
+           after=["INTERLEAVER"])
+    b.node("PILOT_INSERT", args=["symbols", "ofdm_freq"], cpu="wifi_pilot_insert",
+           after=["QPSK_MOD"])
+    b.node(
+        "IFFT",
+        args=["ofdm_freq", "tx_time"],
+        platforms=[
+            PlatformBinding(name="cpu", runfunc="wifi_ifft_CPU"),
+            PlatformBinding(
+                name="fft", runfunc="wifi_ifft_ACCEL",
+                shared_object=ACCEL_SHARED_OBJECT,
+            ),
+        ],
+        after=["PILOT_INSERT"],
+    )
+    b.node("CRC", args=["payload_bits", "crc_out"], cpu="wifi_crc", after=["IFFT"])
+    return b.build()
+
+
+def verify_output(instance) -> bool:
+    """Functional check: the frame round-trips through the reference RX."""
+    time = instance.variables["tx_time"].as_array(np.complex64).astype(np.complex128)
+    decoded = wc.receive(time)
+    expected_crc = int(instance.variables["crc_out"].as_array(np.uint32)[0])
+    return (
+        bool(np.array_equal(decoded, reference_payload()))
+        and crc.crc32_bits(decoded) == expected_crc
+    )

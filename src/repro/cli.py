@@ -1,0 +1,217 @@
+"""Command-line interface: ``dssoc-emulate``.
+
+Runs an emulation or regenerates an experiment from the shell::
+
+    dssoc-emulate run --config 3C+2F --policy frfs \
+        --apps range_detection=3,wifi_tx=2
+    dssoc-emulate perf --config 3C+2F --policy met --rate 2.28
+    dssoc-emulate experiment table1|fig9|fig10|fig11|cs4
+    dssoc-emulate list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.tables import format_table
+from repro.common.errors import ReproError
+from repro.hardware.platform import odroid_xu3, zcu102
+from repro.runtime.backends.threaded import ThreadedBackend
+from repro.runtime.backends.virtual import VirtualBackend
+from repro.runtime.emulation import Emulation
+from repro.runtime.schedulers import available_policies
+from repro.runtime.workload import validation_workload
+from repro.experiments.workloads import TABLE_II_RATES, table_ii_workload
+
+
+def _parse_apps(text: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for part in text.split(","):
+        name, _sep, num = part.partition("=")
+        counts[name.strip()] = int(num) if num else 1
+    return counts
+
+
+def _platform(name: str):
+    if name == "zcu102":
+        return zcu102()
+    if name == "odroid_xu3":
+        return odroid_xu3()
+    raise ReproError(f"unknown platform {name!r} (zcu102 | odroid_xu3)")
+
+
+def _backend(name: str):
+    if name == "virtual":
+        return VirtualBackend()
+    if name == "threaded":
+        return ThreadedBackend()
+    raise ReproError(f"unknown backend {name!r} (virtual | threaded)")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    emu = Emulation(
+        platform=_platform(args.platform),
+        config=args.config,
+        policy=args.policy,
+        materialize_memory=args.backend == "threaded",
+        jitter=not args.no_jitter,
+        seed=args.seed,
+    )
+    result = emu.run(
+        validation_workload(_parse_apps(args.apps)), _backend(args.backend)
+    )
+    print(json.dumps(result.stats.summary(), indent=2))
+    if args.backend == "threaded":
+        print("outputs correct:", result.verify_outputs())
+    if args.gantt:
+        from repro.analysis.trace_export import gantt_ascii
+
+        print()
+        print(gantt_ascii(result.stats))
+    if args.trace:
+        from repro.analysis.trace_export import write_csv, write_json
+
+        if args.trace.endswith(".json"):
+            write_json(result.stats, args.trace)
+        else:
+            write_csv(result.stats, args.trace)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    if args.rate not in TABLE_II_RATES:
+        print(f"rate must be one of {TABLE_II_RATES}", file=sys.stderr)
+        return 2
+    emu = Emulation(
+        platform=_platform(args.platform),
+        config=args.config,
+        policy=args.policy,
+        materialize_memory=False,
+        jitter=False,
+    )
+    result = emu.run(table_ii_workload(args.rate), VirtualBackend())
+    print(json.dumps(result.stats.summary(), indent=2))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "table1":
+        from repro.experiments.case_study_2 import render_table_i, run_table_i
+
+        print(render_table_i(run_table_i()))
+    elif name == "fig9":
+        from repro.experiments.case_study_1 import render_fig9, run_fig9
+
+        print(render_fig9(run_fig9(iterations=args.iterations)))
+    elif name == "fig10":
+        from repro.experiments.case_study_2 import render_fig10, run_fig10
+
+        print(render_fig10(run_fig10()))
+    elif name == "fig11":
+        from repro.experiments.case_study_3 import render_fig11, run_fig11
+
+        print(render_fig11(run_fig11()))
+    elif name == "cs4":
+        from repro.experiments.case_study_4 import (
+            render_case_study_4,
+            run_case_study_4,
+        )
+
+        print(render_case_study_4(run_case_study_4()))
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_export_specs(args: argparse.Namespace) -> int:
+    """Write every bundled application's Listing-1 JSON to a directory."""
+    from pathlib import Path
+
+    from repro.appmodel.jsonspec import dump_graph
+    from repro.apps import default_applications
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, graph in sorted(default_applications().items()):
+        path = outdir / f"{name}.json"
+        dump_graph(graph, path)
+        print(f"wrote {path} ({graph.task_count} tasks)")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    from repro.apps import default_applications
+
+    rows = [
+        [name, graph.task_count, len(graph.variables)]
+        for name, graph in sorted(default_applications().items())
+    ]
+    print(format_table(["application", "tasks", "variables"], rows,
+                       title="Registered applications"))
+    print()
+    print("Scheduling policies:", ", ".join(available_policies()))
+    print("Platforms: zcu102, odroid_xu3")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dssoc-emulate",
+        description="User-space emulation framework for DSSoC design",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="validation-mode emulation")
+    run_p.add_argument("--platform", default="zcu102")
+    run_p.add_argument("--config", default="3C+2F")
+    run_p.add_argument("--policy", default="frfs")
+    run_p.add_argument("--apps", default="range_detection=1")
+    run_p.add_argument("--backend", default="virtual",
+                       choices=["virtual", "threaded"])
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--no-jitter", action="store_true")
+    run_p.add_argument("--gantt", action="store_true",
+                       help="print an ASCII Gantt chart of the schedule")
+    run_p.add_argument("--trace", default="",
+                       help="write the task schedule to a .csv/.json file")
+    run_p.set_defaults(fn=cmd_run)
+
+    perf_p = sub.add_parser("perf", help="performance-mode emulation")
+    perf_p.add_argument("--platform", default="zcu102")
+    perf_p.add_argument("--config", default="3C+2F")
+    perf_p.add_argument("--policy", default="frfs")
+    perf_p.add_argument("--rate", type=float, default=1.71)
+    perf_p.set_defaults(fn=cmd_perf)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp_p.add_argument("name", choices=["table1", "fig9", "fig10", "fig11", "cs4"])
+    exp_p.add_argument("--iterations", type=int, default=50)
+    exp_p.set_defaults(fn=cmd_experiment)
+
+    list_p = sub.add_parser("list", help="show registered apps and policies")
+    list_p.set_defaults(fn=cmd_list)
+
+    export_p = sub.add_parser(
+        "export-specs", help="write bundled app JSONs (Listing 1 schema)"
+    )
+    export_p.add_argument("--outdir", default="specs")
+    export_p.set_defaults(fn=cmd_export_specs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the DSSoC emulation framework.
+
+Every framework-raised error derives from :class:`ReproError` so callers can
+catch framework failures without masking programming errors (``TypeError``
+etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class ApplicationSpecError(ReproError):
+    """A JSON application specification is malformed or inconsistent.
+
+    Raised for schema violations, dangling predecessor/successor references,
+    cycles in the task graph, unknown variables in node argument lists, and
+    variable storage declarations that contradict their initial values.
+    """
+
+
+class SymbolResolutionError(ReproError):
+    """A ``runfunc`` symbol could not be found in its shared object.
+
+    Mirrors the ``dlsym`` failure mode of the C runtime: the JSON names a
+    function that the referenced kernel library does not export.
+    """
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy produced an invalid assignment.
+
+    Examples: assigning a task to a PE type that is not in the task's
+    supported platform list, dispatching to a PE that is not idle, or a
+    custom policy returning tasks that are not in the ready list.
+    """
+
+
+class HardwareConfigError(ReproError):
+    """A DSSoC hardware configuration is invalid or unsatisfiable.
+
+    Examples: requesting more PEs than the underlying SoC resource pool
+    provides, a configuration string that does not parse, or zero PEs.
+    """
+
+
+class MemoryError_(ReproError):
+    """Emulated memory-pool violation (out of pool, bad handle, overrun).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class ToolchainError(ReproError):
+    """Automatic application conversion failed (trace, outline, or emit)."""
+
+
+class EmulationError(ReproError):
+    """The emulation run itself reached an inconsistent state.
+
+    Examples: deadlock (tasks outstanding but nothing ready and all PEs
+    idle), a resource handler protocol violation, or a task that raised
+    inside its kernel function.
+    """

@@ -1,0 +1,115 @@
+"""Case Study 1 — validation mode (paper Sec. III-C, Fig. 9).
+
+Execution time (box statistics over repeated iterations) and per-PE
+utilization of the four-application validation workload across the seven
+ZCU102 DSSoC configurations under FRFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.boxstats import BoxStats, box_stats
+from repro.analysis.tables import format_table
+from repro.experiments.workloads import FIG9_CONFIGS, fig9_workload
+from repro.runtime.backends.virtual import VirtualBackend
+from repro.runtime.emulation import Emulation
+
+
+@dataclass
+class Fig9Row:
+    config: str
+    execution_time: BoxStats          # milliseconds
+    pe_utilization: dict[str, float]  # per PE name
+
+
+def run_fig9(
+    *,
+    iterations: int = 50,
+    configs: tuple[str, ...] = FIG9_CONFIGS,
+    policy: str = "frfs",
+    seed: int = 0,
+) -> list[Fig9Row]:
+    """Reproduce Fig. 9: ``iterations`` runs per configuration.
+
+    The paper generates its box plot from 50 iterations; per-run variation
+    comes from the calibrated execution-time jitter model.
+    """
+    rows: list[Fig9Row] = []
+    workload = fig9_workload()
+    backend = VirtualBackend()
+    for config in configs:
+        times_ms: list[float] = []
+        last_util: dict[str, float] = {}
+        for it in range(iterations):
+            emu = Emulation(
+                config=config,
+                policy=policy,
+                materialize_memory=False,
+                jitter=True,
+                seed=seed,
+            )
+            result = emu.run(workload, backend, run_index=it)
+            times_ms.append(result.makespan_ms)
+            last_util = result.stats.pe_utilization()
+        rows.append(
+            Fig9Row(
+                config=config,
+                execution_time=box_stats(times_ms),
+                pe_utilization=last_util,
+            )
+        )
+    return rows
+
+
+def render_fig9(rows: list[Fig9Row]) -> str:
+    """Fig. 9a (execution-time boxes) and 9b (PE utilization) as text."""
+    time_rows = []
+    for row in rows:
+        b = row.execution_time
+        time_rows.append(
+            [row.config, b.minimum, b.q1, b.median, b.q3, b.maximum, b.n]
+        )
+    part_a = format_table(
+        ["config", "min_ms", "q1_ms", "median_ms", "q3_ms", "max_ms", "iters"],
+        time_rows,
+        title="Fig 9a: workload execution time per DSSoC configuration (FRFS)",
+    )
+    util_rows = []
+    for row in rows:
+        for pe_name, util in sorted(row.pe_utilization.items()):
+            util_rows.append([row.config, pe_name, round(100 * util, 1)])
+    part_b = format_table(
+        ["config", "pe", "utilization_%"],
+        util_rows,
+        title="Fig 9b: PE utilization per DSSoC configuration",
+    )
+    return part_a + "\n\n" + part_b
+
+
+def check_fig9_shape(rows: list[Fig9Row]) -> list[str]:
+    """The paper's qualitative claims; returns a list of violations."""
+    med = {r.config: r.execution_time.median for r in rows}
+    problems: list[str] = []
+    if not med["3C+0F"] <= min(med.values()) * 1.05:
+        problems.append("3C+0F should be the best configuration")
+    core_gain = med["1C+1F"] - med["2C+1F"]
+    fft_gain = med["1C+1F"] - med["1C+2F"]
+    if core_gain <= fft_gain:
+        problems.append(
+            "adding a core (1C+1F->2C+1F) should beat adding an FFT "
+            "(1C+1F->1C+2F)"
+        )
+    if abs(med["2C+2F"] - med["2C+1F"]) > 0.15 * med["2C+1F"]:
+        problems.append("2C+2F should be within ~15% of 2C+1F (shared RM core)")
+    if med["1C+0F"] <= med["3C+0F"]:
+        problems.append("1C+0F should be the slowest all-CPU configuration")
+    for row in rows:
+        util = row.pe_utilization
+        cpu = [u for pe, u in util.items() if pe.startswith("cpu")]
+        fft = [u for pe, u in util.items() if pe.startswith("fft")]
+        if fft and cpu and max(fft) > max(cpu):
+            problems.append(
+                f"{row.config}: CPU utilization should exceed FFT utilization"
+            )
+    return problems

@@ -1,0 +1,95 @@
+"""The monolithic, unlabeled range-detection program of Case Study 4.
+
+A single flat function, written the way a domain engineer would prototype
+it: synthesize and store the radar capture to disk, read it back, and
+process it with simple for-loop DFTs — no kernel annotations, no DAG, no
+framework types.  The toolchain must discover its structure on its own.
+
+The paper's conversion detects six kernels here: three of heavy file I/O,
+two forward DFTs, and one inverse DFT; the vectorized correlation-spectrum
+multiply and the peak search stay non-kernels.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+import os
+
+import numpy as np
+
+
+def monolithic_range_detection(n_samples: int, data_dir: str):
+    """Flat range-detection: file round trip + loop DFT processing.
+
+    Returns the detected lag (range gate) of the synthesized echo.
+    """
+    # -- capture synthesis (cold, vectorized): chirp + delayed echo ---------
+    t = np.arange(n_samples) / float(n_samples)
+    ref = np.exp(1j * math.pi * n_samples * t * t)
+    delay = n_samples // 6
+    rx = np.concatenate(
+        [np.zeros(delay), 0.6 * ref[: n_samples - delay]]
+    ) + 0.01 * np.exp(2j * math.pi * 3.0 * t)
+
+    ref_path = os.path.join(data_dir, "reference.txt")
+    rx_path = os.path.join(data_dir, "capture.txt")
+
+    # -- KERNEL (file I/O): store the capture line by line ------------------
+    with open(rx_path, "w") as fout:
+        for k in range(n_samples):
+            fout.write(f"{rx[k].real:.12e} {rx[k].imag:.12e}\n")
+            fout.flush()
+
+    # -- KERNEL (file I/O): store the reference waveform ---------------------
+    with open(ref_path, "w") as fout:
+        for k in range(n_samples):
+            fout.write(f"{ref[k].real:.12e} {ref[k].imag:.12e}\n")
+            fout.flush()
+
+    # -- KERNEL (file I/O): parse the capture back from disk -----------------
+    with open(rx_path) as fin:
+        rx_sig = []
+        for line in fin:
+            re_part, im_part = line.split()
+            rx_sig.append(complex(float(re_part), float(im_part)))
+        ref_sig = []
+        for line in open(ref_path):
+            re_part, im_part = line.split()
+            ref_sig.append(complex(float(re_part), float(im_part)))
+
+    # -- KERNEL (naive DFT of the capture) ------------------------------------
+    X1 = [0j] * n_samples
+    for k in range(n_samples):
+        acc = 0j
+        for i in range(n_samples):
+            acc += rx_sig[i] * cmath.exp(-2j * cmath.pi * k * i / n_samples)
+        X1[k] = acc
+
+    # -- KERNEL (naive DFT of the reference) ----------------------------------
+    X2 = [0j] * n_samples
+    for k in range(n_samples):
+        acc = 0j
+        for i in range(n_samples):
+            acc += ref_sig[i] * cmath.exp(-2j * cmath.pi * k * i / n_samples)
+        X2[k] = acc
+
+    # -- non-kernel: correlation spectrum (vectorized) -------------------------
+    corr_spec = np.asarray(X1) * np.conj(np.asarray(X2))
+
+    # -- KERNEL (naive inverse DFT back to the lag domain) ---------------------
+    corr = [0j] * n_samples
+    for k in range(n_samples):
+        acc = 0j
+        for i in range(n_samples):
+            acc += corr_spec[i] * cmath.exp(2j * cmath.pi * k * i / n_samples)
+        corr[k] = acc / n_samples
+
+    # -- non-kernel: peak search (vectorized) ------------------------------------
+    lag = int(np.argmax(np.abs(np.asarray(corr))))
+    return lag
+
+
+def expected_lag(n_samples: int) -> int:
+    """The delay baked into the synthesized capture."""
+    return n_samples // 6

@@ -1,0 +1,38 @@
+"""Emulated hardware substrate.
+
+Models the COTS SoCs the paper runs on — ZCU102 (quad A53 + programmable
+fabric with FFT accelerators behind AXI DMA) and Odroid XU3 (Exynos 5422
+big.LITTLE) — as resource pools the framework instantiates DSSoC test
+configurations from, plus calibrated performance models used by the
+virtual-time backend.
+"""
+
+from repro.hardware.pe import PEKind, PEType, ProcessingElement, PE_CPU, PE_FFT, PE_BIG, PE_LITTLE
+from repro.hardware.dma import DMAModel, DmaBuffer
+from repro.hardware.accelerator import FFTAcceleratorDevice, AcceleratorState
+from repro.hardware.perfmodel import PerformanceModel, SchedulerCostModel
+from repro.hardware.platform import SoCPlatform, HostCoreSpec, zcu102, odroid_xu3
+from repro.hardware.config import DSSoCConfig, parse_config, AffinityPlan
+
+__all__ = [
+    "PEKind",
+    "PEType",
+    "ProcessingElement",
+    "PE_CPU",
+    "PE_FFT",
+    "PE_BIG",
+    "PE_LITTLE",
+    "DMAModel",
+    "DmaBuffer",
+    "FFTAcceleratorDevice",
+    "AcceleratorState",
+    "PerformanceModel",
+    "SchedulerCostModel",
+    "SoCPlatform",
+    "HostCoreSpec",
+    "zcu102",
+    "odroid_xu3",
+    "DSSoCConfig",
+    "parse_config",
+    "AffinityPlan",
+]

@@ -1,0 +1,119 @@
+"""Processing-element types and instances.
+
+A :class:`PEType` describes a *kind* of PE that application platform
+bindings can name (``"cpu"``, ``"fft"``, ``"big"``, ``"little"``); a
+:class:`ProcessingElement` is one instantiated PE inside a DSSoC test
+configuration, carrying its resource-manager thread's host-core affinity.
+
+Power numbers are the framework-extension hook for the paper's future-work
+"power aware heuristics": nominal active/idle power per PE type, integrated
+by the stats module into per-PE energy estimates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import HardwareConfigError
+
+
+class PEKind(enum.Enum):
+    CPU = "cpu"
+    ACCELERATOR = "accelerator"
+
+
+@dataclass(frozen=True)
+class PEType:
+    """A processing-element type available on some platform."""
+
+    name: str                  # the platform-binding name apps reference
+    kind: PEKind
+    speed: float = 1.0         # relative compute speed (1.0 = reference core)
+    active_power_w: float = 1.0
+    idle_power_w: float = 0.1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise HardwareConfigError("PE type name must be non-empty")
+        if self.speed <= 0:
+            raise HardwareConfigError(f"PE type {self.name!r}: speed must be > 0")
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.kind is PEKind.CPU
+
+    @property
+    def is_accelerator(self) -> bool:
+        return self.kind is PEKind.ACCELERATOR
+
+
+# Reference PE types for the two platforms in the paper. Speeds are relative
+# to a Cortex-A53 at the ZCU102's clock (the reference core for the
+# calibrated kernel-time tables in perfmodel.py).
+PE_CPU = PEType(
+    name="cpu",
+    kind=PEKind.CPU,
+    speed=1.0,
+    active_power_w=1.2,
+    idle_power_w=0.15,
+    description="Cortex-A53 application core (ZCU102)",
+)
+PE_FFT = PEType(
+    name="fft",
+    kind=PEKind.ACCELERATOR,
+    speed=1.0,
+    active_power_w=0.8,
+    idle_power_w=0.05,
+    description="FFT accelerator in programmable fabric (ZCU102)",
+)
+PE_BIG = PEType(
+    name="big",
+    kind=PEKind.CPU,
+    speed=1.35,
+    active_power_w=2.5,
+    idle_power_w=0.3,
+    description="Cortex-A15 big core (Odroid XU3)",
+)
+PE_LITTLE = PEType(
+    name="little",
+    kind=PEKind.CPU,
+    speed=0.45,
+    active_power_w=0.6,
+    idle_power_w=0.08,
+    description="Cortex-A7 LITTLE core (Odroid XU3)",
+)
+
+
+@dataclass
+class ProcessingElement:
+    """One PE inside an instantiated DSSoC configuration.
+
+    ``host_core`` is the index of the underlying SoC core that runs this
+    PE's resource-manager thread (for CPU-type PEs this is also the core
+    the task executes on).
+    """
+
+    pe_id: int
+    pe_type: PEType
+    name: str
+    host_core: int
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.pe_type.is_cpu
+
+    @property
+    def is_accelerator(self) -> bool:
+        return self.pe_type.is_accelerator
+
+    @property
+    def type_name(self) -> str:
+        return self.pe_type.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ProcessingElement(id={self.pe_id}, type={self.pe_type.name!r}, "
+            f"host_core={self.host_core})"
+        )

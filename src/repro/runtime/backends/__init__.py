@@ -1,0 +1,17 @@
+"""Execution backends: virtual-time DES and real-thread execution."""
+
+from repro.runtime.backends.base import (
+    EmulationSession,
+    ExecutionBackend,
+    PerfModelOracle,
+)
+from repro.runtime.backends.virtual import VirtualBackend
+from repro.runtime.backends.threaded import ThreadedBackend
+
+__all__ = [
+    "EmulationSession",
+    "ExecutionBackend",
+    "PerfModelOracle",
+    "VirtualBackend",
+    "ThreadedBackend",
+]

@@ -1,0 +1,262 @@
+"""Virtual-time backend: the runtime state machine on a discrete-event clock.
+
+Models the C/pthreads runtime's *behaviour* — not its host — with
+calibrated timing:
+
+* the workload manager runs as a DES process pinned to the platform's
+  management core; each pass charges the scheduler-cost model's overhead
+  (monitor + ready-list update + policy + dispatch) on that core, so a slow
+  overlay core (Odroid LITTLE) inflates overhead exactly as in Fig. 11;
+* one resource-manager process per PE, pinned to its host core from the
+  affinity plan.  CPU PEs consume their core for the kernel's modeled
+  service time; accelerator PEs consume their core for the DMA transfers,
+  then *sleep* while the device computes (paper Sec. II-D), freeing the
+  core for co-resident manager threads;
+* host cores are round-robin time-sliced with a context-switch cost, which
+  reproduces the 2C+2F preemption anomaly of Fig. 9.
+
+Deterministic for a fixed seed: same workload, same policy, same numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.errors import EmulationError
+from repro.common.log import get_logger
+from repro.hardware.accelerator import FFTAcceleratorDevice
+from repro.runtime.backends.base import (
+    EmulationSession,
+    ExecutionBackend,
+    PerfModelOracle,
+)
+from repro.runtime.handler import ResourceHandler
+from repro.runtime.stats import EmulationStats
+from repro.runtime.workload_manager import WorkloadManagerCore
+from repro.sim.engine import AnyOf, Engine
+from repro.sim.resources import HostCore, Mailbox
+
+_log = get_logger("runtime.backends.virtual")
+
+
+class _Waker:
+    """Level-triggered wakeup: fire() releases the current wait, if any."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._event = None
+
+    def wait_event(self):
+        self._event = self.engine.event()
+        return self._event
+
+    def fire(self) -> None:
+        if self._event is not None and not self._event.triggered:
+            self._event.succeed()
+
+
+class VirtualBackend(ExecutionBackend):
+    name = "virtual"
+
+    def __init__(
+        self,
+        *,
+        quantum_us: float = 100.0,
+        switch_cost_us: float = 8.0,
+        max_events: int | None = None,
+    ) -> None:
+        self.quantum_us = quantum_us
+        self.switch_cost_us = switch_cost_us
+        self.max_events = max_events
+
+    # -- entry point -----------------------------------------------------------------
+
+    def run(self, session: EmulationSession) -> EmulationStats:
+        engine = Engine()
+        platform = session.platform
+
+        # Host cores: the management core plus every core hosting an RM thread.
+        cores: dict[int, HostCore] = {}
+        needed = {platform.management_core} | session.plan.cores_in_use()
+        for idx in sorted(needed):
+            spec = platform.core(idx)
+            cores[idx] = HostCore(
+                engine,
+                spec.name,
+                quantum=self.quantum_us,
+                switch_cost=self.switch_cost_us,
+                speed=spec.speed,
+            )
+
+        # Accelerator devices (timing models only in this backend).
+        devices: dict[int, FFTAcceleratorDevice] = {}
+        for pe in session.plan.pes:
+            if pe.is_accelerator:
+                devices[pe.pe_id] = platform.make_accelerator(f"{pe.name}_dev")
+
+        # Give the scheduler its oracle if it arrived without one.
+        if session.scheduler.oracle is None:
+            session.scheduler.oracle = PerfModelOracle(session.perf_model, devices)
+
+        core = WorkloadManagerCore(
+            session.instances,
+            session.handlers,
+            session.scheduler,
+            session.stats,
+            validate=session.validate_assignments,
+        )
+        waker = _Waker(engine)
+        completed: deque[tuple[ResourceHandler, object]] = deque()
+        mailboxes: dict[int, Mailbox] = {
+            h.pe_id: Mailbox(engine) for h in session.handlers
+        }
+
+        for handler in session.handlers:
+            device = devices.get(handler.pe_id)
+            host = cores[handler.pe.host_core]
+            engine.process(
+                self._rm_process(
+                    engine, session, handler, host, device,
+                    mailboxes[handler.pe_id], completed, waker,
+                )
+            )
+        engine.process(
+            self._wm_process(
+                engine, session, core, cores[platform.management_core],
+                mailboxes, completed, waker,
+            )
+        )
+        engine.run(max_events=self.max_events)
+        if not core.all_complete():
+            raise EmulationError(
+                f"virtual emulation stalled: {core.apps_completed}/"
+                f"{core.n_apps} applications completed"
+            )
+        session.stats.assert_all_complete()
+        return session.stats
+
+    # -- workload-manager process -------------------------------------------------------
+
+    def _wm_process(
+        self,
+        engine: Engine,
+        session: EmulationSession,
+        core: WorkloadManagerCore,
+        mgmt_core: HostCore,
+        mailboxes: dict[int, Mailbox],
+        completed: deque,
+        waker: _Waker,
+    ):
+        cost_model = session.cost_model
+        policy = session.scheduler.name
+        self_serve = session.scheduler.uses_reservation
+        n_pes = session.n_pes
+        wm_token = object()  # identity on the management core
+
+        while not core.all_complete():
+            # Sleep until something is actionable: a buffered completion or
+            # the workload queue's head arrival coming due.
+            if not completed and not core.has_due_arrival(engine.now):
+                waiters = [waker.wait_event()]
+                nxt = core.next_arrival()
+                if nxt is not None:
+                    waiters.append(engine.schedule_at(max(nxt, engine.now)))
+                yield AnyOf(engine, waiters)
+                continue  # re-evaluate state at the wakeup instant
+
+            now = engine.now
+            batch = list(completed)
+            completed.clear()
+            n_comp = core.process_completions(batch, now)
+            core.inject_due(now)
+            ready_len = len(core.ready)
+            assignments = core.run_policy(now)
+
+            overhead, invocations = cost_model.pass_cost(
+                policy, ready_len, n_pes, n_comp, len(assignments),
+                per_completion=not self_serve,
+            )
+            # The pass executes serially on the management core; HostCore
+            # divides by core speed (slow LITTLE overlay -> larger overhead,
+            # the Fig. 11 mechanism).
+            yield from mgmt_core.consume(wm_token, overhead)
+            effective = overhead / mgmt_core.speed
+            for _ in range(invocations):
+                session.stats.record_scheduling_pass(
+                    effective / invocations, ready_len
+                )
+
+            dispatch_now = engine.now
+            core.commit(assignments, dispatch_now)
+            for a in assignments:
+                if self_serve:
+                    started = a.handler.reserve(a.task)
+                    if started:
+                        mailboxes[a.handler.pe_id].put(a.task)
+                else:
+                    a.handler.assign(a.task)
+                    mailboxes[a.handler.pe_id].put(a.task)
+            core.check_liveness(dispatch_now, pending_completions=len(completed))
+
+    # -- resource-manager process ----------------------------------------------------------
+
+    def _rm_process(
+        self,
+        engine: Engine,
+        session: EmulationSession,
+        handler: ResourceHandler,
+        host: HostCore,
+        device: FFTAcceleratorDevice | None,
+        mailbox: Mailbox,
+        completed: deque,
+        waker: _Waker,
+    ):
+        perf = session.perf_model
+        pe_type = handler.pe.pe_type
+        jitter_rng = (
+            session.seeds.rng("jitter", handler.name) if session.jitter else None
+        )
+        self_serve = session.scheduler.uses_reservation
+
+        while True:
+            task = yield mailbox.get()
+            while task is not None:
+                binding = task.chosen_platform
+                if binding is None:
+                    raise EmulationError(
+                        f"PE {handler.name}: task {task.qualified_name()} "
+                        "dispatched without a platform binding"
+                    )
+                jitter = (
+                    perf.jitter(jitter_rng) if jitter_rng is not None else 1.0
+                )
+                task.mark_running(engine.now)
+                if pe_type.is_accelerator:
+                    if device is None:
+                        raise EmulationError(
+                            f"PE {handler.name}: accelerator PE without device"
+                        )
+                    points = perf.accel_points(binding.runfunc)
+                    nbytes = perf.accel_transfer_bytes(binding.runfunc)
+                    t_in = device.dma.transfer_time(nbytes)
+                    t_out = device.dma.transfer_time(nbytes)
+                    t_compute = device.compute_time(points) * jitter
+                    # DDR -> BRAM transfer occupies the manager's host core.
+                    yield from host.consume(handler, t_in)
+                    # The manager thread sleeps while the device computes,
+                    # releasing the core to co-resident manager threads.
+                    yield engine.timeout(t_compute)
+                    # BRAM -> DDR transfer occupies the core again.
+                    yield from host.consume(handler, t_out)
+                else:
+                    service = perf.cpu_time(binding.runfunc, pe_type) * jitter
+                    # cpu_time() already applied the PE-type speed; the host
+                    # core's own speed equals the PE's, so consume the
+                    # pre-scaled duration at unit core speed.
+                    yield from host.consume(handler, service * host.speed)
+                task.mark_complete(engine.now)
+                handler.busy_time += task.finish_time - task.start_time
+                next_task = handler.finish_task(self_serve=self_serve)
+                completed.append((handler, task))
+                waker.fire()
+                task = next_task

@@ -1,0 +1,188 @@
+"""Resource handlers — the WM ↔ RM communication objects (paper Sec. II-C).
+
+Each PE gets a dedicated handler composed of "fields that track PE
+availability, type, and id along with its workload and synchronization
+lock".  Availability follows the paper's three-state protocol::
+
+    IDLE ──(WM assigns task, sets RUN)──► RUN
+    RUN ──(RM finishes, sets COMPLETE)──► COMPLETE
+    COMPLETE ──(WM acknowledges)──► IDLE
+
+Any thread reading or writing the status field must hold the handler's
+lock; the threaded backend relies on this, while the single-threaded
+virtual backend satisfies the rule trivially (its lock is uncontended).
+
+Completed tasks are buffered in ``finished_tasks`` for the workload
+manager's monitoring step.  The ``reservation_queue`` implements the
+paper's future-work PE-level work queues: with a reservation-capable
+policy, the WM may book tasks onto a busy PE and the resource manager
+*self-serves* the next task on completion (``finish_task(self_serve=True)``),
+skipping the COMPLETE→IDLE handshake entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+
+from repro.appmodel.instance import TaskInstance
+from repro.common.errors import EmulationError
+from repro.hardware.pe import ProcessingElement
+
+
+class PEStatus(enum.Enum):
+    IDLE = "idle"
+    RUN = "run"
+    COMPLETE = "complete"
+
+
+class ResourceHandler:
+    """Shared state between the workload manager and one resource manager."""
+
+    def __init__(self, pe: ProcessingElement) -> None:
+        self.pe = pe
+        #: platform-binding names this PE can execute.  A CPU-kind PE also
+        #: accepts the generic "cpu" binding (a portable C kernel runs on
+        #: any core cluster — this is how the unchanged SDR applications run
+        #: on the Odroid's big/little PE types); accelerators match exactly.
+        if pe.pe_type.is_cpu and pe.type_name != "cpu":
+            self.accepted_platforms: tuple[str, ...] = (pe.type_name, "cpu")
+        else:
+            self.accepted_platforms = (pe.type_name,)
+        self.lock = threading.Lock()
+        self.condition = threading.Condition(self.lock)
+        self._status = PEStatus.IDLE
+        self.current_task: TaskInstance | None = None
+        self.reservation_queue: deque[TaskInstance] = deque()
+        self.finished_tasks: deque[TaskInstance] = deque()
+        # accounting (owned by the RM side)
+        self.busy_time: float = 0.0
+        self.tasks_executed: int = 0
+        #: scheduler-visible estimate of when this PE frees up (used by
+        #: EFT/HEFT/reservation placement)
+        self.estimated_free_time: float = 0.0
+        #: set by backends that want the RM thread/process to exit
+        self.shutdown = False
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def pe_id(self) -> int:
+        return self.pe.pe_id
+
+    @property
+    def name(self) -> str:
+        return self.pe.name
+
+    @property
+    def type_name(self) -> str:
+        return self.pe.type_name
+
+    @property
+    def status(self) -> PEStatus:
+        with self.lock:
+            return self._status
+
+    def is_idle(self) -> bool:
+        return self.status is PEStatus.IDLE
+
+    # -- WM side -----------------------------------------------------------------
+
+    def assign(self, task: TaskInstance) -> None:
+        """Hand a task to an idle PE and flip it to RUN."""
+        with self.condition:
+            if self._status is not PEStatus.IDLE:
+                raise EmulationError(
+                    f"PE {self.name}: assign while {self._status.value}"
+                )
+            self.current_task = task
+            self._status = PEStatus.RUN
+            self.condition.notify_all()
+
+    def reserve(self, task: TaskInstance) -> bool:
+        """Book a task onto this PE (reservation extension).
+
+        Returns True when the PE was idle and the task starts immediately;
+        False when it was queued behind the current work.
+        """
+        with self.condition:
+            if self._status is PEStatus.IDLE:
+                self.current_task = task
+                self._status = PEStatus.RUN
+                self.condition.notify_all()
+                return True
+            self.reservation_queue.append(task)
+            return False
+
+    def acknowledge_complete(self) -> None:
+        """Return a COMPLETE PE to IDLE (plain-dispatch handshake)."""
+        with self.condition:
+            if self._status is not PEStatus.COMPLETE:
+                raise EmulationError(
+                    f"PE {self.name}: acknowledge while {self._status.value}"
+                )
+            self.current_task = None
+            self._status = PEStatus.IDLE
+
+    def drain_finished(self) -> list[TaskInstance]:
+        """WM monitoring step: collect all buffered completed tasks."""
+        with self.lock:
+            items = list(self.finished_tasks)
+            self.finished_tasks.clear()
+            return items
+
+    def request_shutdown(self) -> None:
+        """Ask the RM (thread) to exit once idle."""
+        with self.condition:
+            self.shutdown = True
+            self.condition.notify_all()
+
+    # -- RM side -----------------------------------------------------------------
+
+    def finish_task(self, *, self_serve: bool = False) -> TaskInstance | None:
+        """RM reports the current task done.
+
+        Plain mode (``self_serve=False``): buffers the task and flips to
+        COMPLETE, awaiting the WM's acknowledgement.  Self-serve mode: the
+        PE immediately continues with the next reserved task (returned), or
+        goes straight to IDLE when its queue is empty.
+        """
+        with self.condition:
+            if self._status is not PEStatus.RUN or self.current_task is None:
+                raise EmulationError(
+                    f"PE {self.name}: finish_task while {self._status.value}"
+                )
+            done = self.current_task
+            self.finished_tasks.append(done)
+            self.tasks_executed += 1
+            if not self_serve:
+                self._status = PEStatus.COMPLETE
+                self.condition.notify_all()
+                return None
+            if self.reservation_queue:
+                self.current_task = self.reservation_queue.popleft()
+                self.condition.notify_all()
+                return self.current_task
+            self.current_task = None
+            self._status = PEStatus.IDLE
+            return None
+
+    def wait_for_work(self, timeout: float | None = None) -> TaskInstance | None:
+        """RM blocks until a task is assigned (threaded backend).
+
+        Returns None on shutdown or timeout.
+        """
+        with self.condition:
+            while not self.shutdown:
+                if self._status is PEStatus.RUN and self.current_task is not None:
+                    return self.current_task
+                if not self.condition.wait(timeout=timeout):
+                    return None
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResourceHandler({self.name!r}, {self._status.value}, "
+            f"queued={len(self.reservation_queue)})"
+        )

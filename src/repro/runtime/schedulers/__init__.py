@@ -1,0 +1,44 @@
+"""Scheduling-policy library (paper Sec. II-C).
+
+Built-in policies: minimum execution time (MET), first ready-first start
+(FRFS), earliest finish time (EFT), and RANDOM, plus the paper's
+future-work extensions — reservation-queue dispatch and a HEFT-style
+lookahead policy — and a power-aware MET variant.
+
+New policies integrate the way the paper describes for ``scheduler.cpp``:
+implement the :class:`Scheduler` interface (it receives the ready task
+queue and the resource-handler objects) and register a constructor with
+:func:`register_policy`; the dispatch table in :func:`make_scheduler` is
+the Python analog of adding a case to ``performScheduling``.
+"""
+
+from repro.runtime.schedulers.base import (
+    Assignment,
+    ExecutionTimeOracle,
+    Scheduler,
+)
+from repro.runtime.schedulers.frfs import FRFSScheduler
+from repro.runtime.schedulers.met import METScheduler, PowerAwareMETScheduler
+from repro.runtime.schedulers.eft import EFTScheduler
+from repro.runtime.schedulers.random_policy import RandomScheduler
+from repro.runtime.schedulers.heft import HEFTScheduler
+from repro.runtime.schedulers.registry import (
+    available_policies,
+    make_scheduler,
+    register_policy,
+)
+
+__all__ = [
+    "Assignment",
+    "ExecutionTimeOracle",
+    "Scheduler",
+    "FRFSScheduler",
+    "METScheduler",
+    "PowerAwareMETScheduler",
+    "EFTScheduler",
+    "RandomScheduler",
+    "HEFTScheduler",
+    "available_policies",
+    "make_scheduler",
+    "register_policy",
+]

@@ -1,0 +1,118 @@
+"""Scheduler interface and shared helpers.
+
+A policy receives the ready task list and the resource handlers, and
+returns assignments of tasks onto **idle** PEs whose type appears in the
+task's platform list.  The workload manager validates every assignment
+(:func:`validate_assignments`), so a buggy custom policy fails loudly with
+a :class:`~repro.common.errors.SchedulingError` rather than corrupting the
+emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.appmodel.instance import TaskInstance
+from repro.common.errors import SchedulingError
+from repro.runtime.handler import PEStatus, ResourceHandler
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One scheduling decision: run ``task`` on ``handler``'s PE."""
+
+    task: TaskInstance
+    handler: ResourceHandler
+
+
+class ExecutionTimeOracle(Protocol):
+    """Expected execution times, as schedulers would obtain from profiling.
+
+    ``estimate(task, handler)`` returns the expected service time (µs) of
+    the task on the handler's PE, or ``None`` when the task's platform list
+    does not include that PE type.
+    """
+
+    def estimate(self, task: TaskInstance, handler: ResourceHandler) -> float | None:
+        ...  # pragma: no cover - protocol
+
+
+class Scheduler:
+    """Base class for scheduling policies."""
+
+    #: registry name; used for overhead modeling and reporting
+    name = "base"
+    #: reservation-capable policies may also target busy PEs (queued dispatch)
+    uses_reservation = False
+
+    def __init__(self, oracle: ExecutionTimeOracle | None = None) -> None:
+        self.oracle = oracle
+
+    def schedule(
+        self,
+        ready: list[TaskInstance],
+        handlers: list[ResourceHandler],
+        now: float,
+    ) -> list[Assignment]:
+        """Map ready tasks to PEs.  Must not mutate ``ready``."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses ----------------------------------------------------
+
+    @staticmethod
+    def idle_handlers(handlers: list[ResourceHandler]) -> list[ResourceHandler]:
+        """Snapshot of currently idle PEs (reads status under each lock,
+        matching the paper's 'begin by checking availability' guidance)."""
+        return [h for h in handlers if h.status is PEStatus.IDLE]
+
+    def required_oracle(self) -> ExecutionTimeOracle:
+        if self.oracle is None:
+            raise SchedulingError(
+                f"policy {self.name!r} requires an execution-time oracle"
+            )
+        return self.oracle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+def validate_assignments(
+    assignments: list[Assignment],
+    ready,
+    *,
+    allow_busy: bool = False,
+) -> None:
+    """Reject structurally invalid policy output.
+
+    ``ready`` is any container supporting membership by identity (the WM's
+    ReadyList, or a plain list in tests).
+    """
+    seen_tasks: set[int] = set()
+    seen_handlers: set[int] = set()
+    for a in assignments:
+        if id(a.task) in seen_tasks:
+            raise SchedulingError(
+                f"task {a.task.qualified_name()} assigned twice in one pass"
+            )
+        seen_tasks.add(id(a.task))
+        if a.task not in ready:
+            raise SchedulingError(
+                f"task {a.task.qualified_name()} is not in the ready list"
+            )
+        if not a.task.supports_pe(a.handler):
+            raise SchedulingError(
+                f"task {a.task.qualified_name()} does not support PE type "
+                f"{a.handler.type_name!r}"
+            )
+        if not allow_busy:
+            if id(a.handler) in seen_handlers:
+                raise SchedulingError(
+                    f"PE {a.handler.name} assigned two tasks in one pass"
+                )
+            if a.handler.status is not PEStatus.IDLE:
+                raise SchedulingError(
+                    f"PE {a.handler.name} is not idle "
+                    f"({a.handler.status.value})"
+                )
+        seen_handlers.add(id(a.handler))

@@ -1,0 +1,63 @@
+"""Minimum execution time (MET) — O(n) in ready-queue length.
+
+Every ready task is examined (hence the linear complexity the paper
+reports); each is placed on the idle supporting PE with the smallest
+expected execution time.  Ties break toward the lower PE id for
+determinism.
+
+:class:`PowerAwareMETScheduler` is the framework-extension hook for the
+paper's future-work "power aware heuristics": it minimizes expected energy
+(time × active power) instead of time, steering work toward efficient PEs
+such as LITTLE cores when their slowdown is smaller than their power
+advantage.
+"""
+
+from __future__ import annotations
+
+from repro.appmodel.instance import TaskInstance
+from repro.runtime.handler import ResourceHandler
+from repro.runtime.schedulers.base import Assignment, Scheduler
+
+
+class METScheduler(Scheduler):
+    name = "met"
+
+    def _cost(self, task: TaskInstance, handler: ResourceHandler, est: float) -> float:
+        return est
+
+    def schedule(
+        self,
+        ready: list[TaskInstance],
+        handlers: list[ResourceHandler],
+        now: float,
+    ) -> list[Assignment]:
+        idle = self.idle_handlers(handlers)
+        if not idle:
+            return []
+        oracle = self.required_oracle()
+        available = list(idle)
+        assignments: list[Assignment] = []
+        for task in ready:
+            if not available:
+                break
+            best: tuple[float, int] | None = None
+            best_idx = -1
+            for i, handler in enumerate(available):
+                est = oracle.estimate(task, handler)
+                if est is None:
+                    continue
+                key = (self._cost(task, handler, est), handler.pe_id)
+                if best is None or key < best:
+                    best = key
+                    best_idx = i
+            if best_idx >= 0:
+                handler = available.pop(best_idx)
+                assignments.append(Assignment(task, handler))
+        return assignments
+
+
+class PowerAwareMETScheduler(METScheduler):
+    name = "met_power"
+
+    def _cost(self, task: TaskInstance, handler: ResourceHandler, est: float) -> float:
+        return est * handler.pe.pe_type.active_power_w

@@ -1,0 +1,42 @@
+"""RANDOM — uniform choice among idle supporting PEs (baseline policy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.appmodel.instance import TaskInstance
+from repro.common.rng import default_rng
+from repro.runtime.handler import ResourceHandler
+from repro.runtime.schedulers.base import Assignment, ExecutionTimeOracle, Scheduler
+
+
+class RandomScheduler(Scheduler):
+    name = "random"
+
+    def __init__(
+        self,
+        oracle: ExecutionTimeOracle | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(oracle)
+        self.rng = rng if rng is not None else default_rng()
+
+    def schedule(
+        self,
+        ready: list[TaskInstance],
+        handlers: list[ResourceHandler],
+        now: float,
+    ) -> list[Assignment]:
+        available = self.idle_handlers(handlers)
+        assignments: list[Assignment] = []
+        for task in ready:
+            if not available:
+                break
+            candidates = [
+                i for i, h in enumerate(available) if task.supports_pe(h)
+            ]
+            if not candidates:
+                continue
+            pick = candidates[int(self.rng.integers(len(candidates)))]
+            assignments.append(Assignment(task, available.pop(pick)))
+        return assignments

@@ -1,0 +1,65 @@
+"""Policy registry — the Python analog of ``performScheduling``'s dispatch.
+
+Users select a built-in policy by name at run time or register a custom
+constructor; :func:`make_scheduler` builds the policy with the emulation's
+execution-time oracle, mirroring the paper's instruction to "define a new
+policy in scheduler.cpp and add a dispatch call in performScheduling".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.common.errors import SchedulingError
+from repro.runtime.schedulers.base import ExecutionTimeOracle, Scheduler
+from repro.runtime.schedulers.eft import EFTScheduler
+from repro.runtime.schedulers.frfs import FRFSScheduler
+from repro.runtime.schedulers.heft import HEFTScheduler
+from repro.runtime.schedulers.met import METScheduler, PowerAwareMETScheduler
+from repro.runtime.schedulers.random_policy import RandomScheduler
+from repro.runtime.schedulers.reservation import (
+    ReservationEFTScheduler,
+    ReservationFRFSScheduler,
+)
+
+SchedulerFactory = Callable[[ExecutionTimeOracle | None], Scheduler]
+
+_REGISTRY: dict[str, SchedulerFactory] = {
+    "frfs": lambda oracle: FRFSScheduler(oracle),
+    "met": lambda oracle: METScheduler(oracle),
+    "eft": lambda oracle: EFTScheduler(oracle),
+    "random": lambda oracle: RandomScheduler(oracle),
+    "heft": lambda oracle: HEFTScheduler(oracle),
+    "met_power": lambda oracle: PowerAwareMETScheduler(oracle),
+    "frfs_reserve": lambda oracle: ReservationFRFSScheduler(oracle),
+    "eft_reserve": lambda oracle: ReservationEFTScheduler(oracle),
+}
+
+
+def available_policies() -> list[str]:
+    """Names accepted by :func:`make_scheduler`."""
+    return sorted(_REGISTRY)
+
+
+def register_policy(name: str, factory: SchedulerFactory,
+                    replace: bool = False) -> None:
+    """Add a user-defined policy to the dispatch table."""
+    if name in _REGISTRY and not replace:
+        raise SchedulingError(
+            f"policy {name!r} already registered (pass replace=True to override)"
+        )
+    _REGISTRY[name] = factory
+
+
+def make_scheduler(
+    name: str, oracle: ExecutionTimeOracle | None = None
+) -> Scheduler:
+    """Instantiate a policy by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown scheduling policy {name!r} "
+            f"(available: {available_policies()})"
+        ) from None
+    return factory(oracle)

@@ -1,0 +1,127 @@
+"""Reservation-queue scheduling — the paper's future-work extension.
+
+"In the future, we will incorporate task reservation queues on each PE to
+reduce the impact of the scheduling overhead" (Sec. III-C) and "expand our
+framework to support abstractions like PE-level work queues to enable
+lower-overhead task dispatch" (Sec. V).
+
+With reservation enabled, the policy may book a ready task onto a *busy*
+PE (up to ``queue_depth`` outstanding per PE); the resource manager pulls
+its next task directly from its local queue on completion, so the PE never
+idles across the workload manager's scheduling pass.  Placement follows
+earliest-estimated-finish across each PE's existing bookings.
+
+The ablation benchmark (benchmarks/test_ablation_reservation.py) compares
+this against plain FRFS/EFT dispatch on the Fig. 10 workloads.
+"""
+
+from __future__ import annotations
+
+from repro.appmodel.instance import TaskInstance
+from repro.runtime.handler import PEStatus, ResourceHandler
+from repro.runtime.schedulers.base import Assignment, ExecutionTimeOracle, Scheduler
+
+
+class ReservationEFTScheduler(Scheduler):
+    name = "eft_reserve"
+    uses_reservation = True
+
+    def __init__(
+        self,
+        oracle: ExecutionTimeOracle | None = None,
+        queue_depth: int = 4,
+    ) -> None:
+        super().__init__(oracle)
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.queue_depth = queue_depth
+
+    def schedule(
+        self,
+        ready: list[TaskInstance],
+        handlers: list[ResourceHandler],
+        now: float,
+    ) -> list[Assignment]:
+        oracle = self.required_oracle()
+        avail: dict[int, float] = {}
+        slots: dict[int, int] = {}
+        for h in handlers:
+            if h.status is PEStatus.IDLE:
+                avail[h.pe_id] = now
+                slots[h.pe_id] = self.queue_depth
+            else:
+                avail[h.pe_id] = max(h.estimated_free_time, now)
+                slots[h.pe_id] = max(
+                    0, self.queue_depth - 1 - len(h.reservation_queue)
+                )
+        open_slots = sum(slots.values())
+        assignments: list[Assignment] = []
+        for task in ready:
+            if open_slots == 0:
+                break
+            best_handler = None
+            best_finish = float("inf")
+            for h in handlers:
+                if slots[h.pe_id] <= 0:
+                    continue
+                est = oracle.estimate(task, h)
+                if est is None:
+                    continue
+                finish = avail[h.pe_id] + est
+                if finish < best_finish:
+                    best_finish = finish
+                    best_handler = h
+            if best_handler is None:
+                continue
+            avail[best_handler.pe_id] = best_finish
+            slots[best_handler.pe_id] -= 1
+            open_slots -= 1
+            assignments.append(Assignment(task, best_handler))
+        return assignments
+
+
+class ReservationFRFSScheduler(Scheduler):
+    """FRFS with reservation: FIFO tasks onto the least-loaded supporting PE."""
+
+    name = "frfs_reserve"
+    uses_reservation = True
+
+    def __init__(
+        self,
+        oracle: ExecutionTimeOracle | None = None,
+        queue_depth: int = 4,
+    ) -> None:
+        super().__init__(oracle)
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.queue_depth = queue_depth
+
+    def schedule(
+        self,
+        ready: list[TaskInstance],
+        handlers: list[ResourceHandler],
+        now: float,
+    ) -> list[Assignment]:
+        load: dict[int, int] = {}
+        for h in handlers:
+            if h.status is PEStatus.IDLE:
+                load[h.pe_id] = 0
+            else:
+                load[h.pe_id] = 1 + len(h.reservation_queue)
+        assignments: list[Assignment] = []
+        for task in ready:
+            best_handler = None
+            best_load = self.queue_depth  # exclusive bound
+            for h in handlers:
+                if load[h.pe_id] >= best_load:
+                    continue
+                if task.supports_pe(h):
+                    best_handler = h
+                    best_load = load[h.pe_id]
+                    if best_load == 0:
+                        break
+            if best_handler is None:
+                continue
+            load[best_handler.pe_id] += 1
+            assignments.append(Assignment(task, best_handler))
+        return assignments

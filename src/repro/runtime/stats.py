@@ -1,0 +1,193 @@
+"""Scheduling statistics collected before emulation termination (Sec. II-A).
+
+The framework records, per task: which PE ran it and its ready → dispatch
+→ start → finish timeline; per PE: busy time (and derived utilization and
+energy); per workload-manager invocation: the scheduling overhead — the
+paper's definition: time to monitor completion status, update the ready
+queue, run the policy, and communicate tasks to resource managers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import EmulationError
+from repro.common.units import to_msec, to_sec
+from repro.hardware.pe import ProcessingElement
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Timeline of one executed task."""
+
+    app_name: str
+    instance_id: int
+    task_name: str
+    task_id: int
+    pe_name: str
+    pe_type: str
+    ready_time: float
+    dispatch_time: float
+    start_time: float
+    finish_time: float
+
+    @property
+    def service_time(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Ready → start latency (scheduling + dispatch + PE wait)."""
+        return self.start_time - self.ready_time
+
+
+@dataclass
+class PEUsage:
+    pe_name: str
+    pe_type: str
+    busy_time: float = 0.0
+    tasks_executed: int = 0
+    active_power_w: float = 0.0
+    idle_power_w: float = 0.0
+
+    def utilization(self, makespan: float) -> float:
+        if makespan <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / makespan)
+
+    def energy_joules(self, makespan: float) -> float:
+        """Busy at active power, remainder at idle power (µs·W → J)."""
+        idle = max(0.0, makespan - self.busy_time)
+        return (self.busy_time * self.active_power_w + idle * self.idle_power_w) / 1e6
+
+
+class EmulationStats:
+    """Accumulator shared by both backends."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.task_records: list[TaskRecord] = []
+        self.pe_usage: dict[str, PEUsage] = {}
+        self.sched_overhead_total: float = 0.0
+        self.sched_invocations: int = 0
+        self.sched_overhead_samples: list[float] = []
+        self.ready_len_samples: list[int] = []
+        self.apps_injected: int = 0
+        self.apps_completed: int = 0
+        self.app_response_times: dict[str, list[float]] = {}
+        self.emulation_end: float = 0.0
+        self.policy_name: str = ""
+        self.config_label: str = ""
+
+    # -- recording -----------------------------------------------------------------
+
+    def register_pe(self, pe: ProcessingElement) -> None:
+        self.pe_usage[pe.name] = PEUsage(
+            pe_name=pe.name,
+            pe_type=pe.type_name,
+            active_power_w=pe.pe_type.active_power_w,
+            idle_power_w=pe.pe_type.idle_power_w,
+        )
+
+    def record_task(self, task, pe: ProcessingElement) -> None:
+        rec = TaskRecord(
+            app_name=task.app_name,
+            instance_id=task.app.instance_id,
+            task_name=task.name,
+            task_id=task.task_id,
+            pe_name=pe.name,
+            pe_type=pe.type_name,
+            ready_time=task.ready_time,
+            dispatch_time=task.dispatch_time,
+            start_time=task.start_time,
+            finish_time=task.finish_time,
+        )
+        self.task_records.append(rec)
+        usage = self.pe_usage[pe.name]
+        usage.busy_time += rec.service_time
+        usage.tasks_executed += 1
+        self.emulation_end = max(self.emulation_end, rec.finish_time)
+
+    def record_scheduling_pass(self, overhead: float, ready_len: int) -> None:
+        self.sched_overhead_total += overhead
+        self.sched_invocations += 1
+        self.sched_overhead_samples.append(overhead)
+        self.ready_len_samples.append(ready_len)
+
+    def record_injection(self, count: int = 1) -> None:
+        self.apps_injected += count
+
+    def record_app_completion(self, instance) -> None:
+        self.apps_completed += 1
+        self.app_response_times.setdefault(instance.app_name, []).append(
+            instance.response_time()
+        )
+        self.emulation_end = max(self.emulation_end, instance.finish_time)
+
+    # -- aggregates ----------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Workload execution time in µs (reference start → last finish)."""
+        return self.emulation_end
+
+    @property
+    def task_count(self) -> int:
+        return len(self.task_records)
+
+    def avg_scheduling_overhead(self) -> float:
+        """Mean overhead per scheduling pass, µs (the paper's Fig. 10b)."""
+        if self.sched_invocations == 0:
+            return 0.0
+        return self.sched_overhead_total / self.sched_invocations
+
+    def mean_ready_length(self) -> float:
+        if not self.ready_len_samples:
+            return 0.0
+        return float(np.mean(self.ready_len_samples))
+
+    def pe_utilization(self) -> dict[str, float]:
+        """Per-PE usage-time / workload-execution-time (Fig. 9b)."""
+        span = self.makespan
+        return {
+            name: usage.utilization(span) for name, usage in self.pe_usage.items()
+        }
+
+    def pe_energy(self) -> dict[str, float]:
+        span = self.makespan
+        return {
+            name: usage.energy_joules(span) for name, usage in self.pe_usage.items()
+        }
+
+    def mean_response_time(self, app_name: str) -> float:
+        times = self.app_response_times.get(app_name)
+        if not times:
+            raise EmulationError(f"no completed instances of {app_name!r}")
+        return float(np.mean(times))
+
+    def assert_all_complete(self) -> None:
+        if self.apps_completed != self.apps_injected:
+            raise EmulationError(
+                f"{self.apps_injected - self.apps_completed} of "
+                f"{self.apps_injected} applications did not complete"
+            )
+
+    def summary(self) -> dict:
+        """Flat report dict (what the bench harnesses print)."""
+        return {
+            "label": self.label,
+            "config": self.config_label,
+            "policy": self.policy_name,
+            "apps_injected": self.apps_injected,
+            "apps_completed": self.apps_completed,
+            "tasks": self.task_count,
+            "makespan_ms": round(to_msec(self.makespan), 4),
+            "makespan_s": round(to_sec(self.makespan), 6),
+            "avg_sched_overhead_us": round(self.avg_scheduling_overhead(), 3),
+            "sched_invocations": self.sched_invocations,
+            "pe_utilization": {
+                k: round(v, 4) for k, v in self.pe_utilization().items()
+            },
+        }

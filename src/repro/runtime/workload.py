@@ -1,0 +1,166 @@
+"""Workload creation: validation mode and performance mode (Sec. II-B).
+
+* **Validation mode** — every requested instance arrives at t=0 and the
+  emulation finishes once all applications complete.
+* **Performance mode** — applications are injected periodically over a test
+  time-frame (the paper uses 100 ms) with a per-application period and
+  injection probability; varying the periods sets the average injection
+  rate (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ApplicationSpecError
+from repro.common.rng import SeedSequenceFactory
+from repro.common.units import MS
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One application arrival: which archetype, and when."""
+
+    app_name: str
+    arrival_time: float  # µs relative to the emulation reference start time
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ApplicationSpecError(
+                f"negative arrival time for {self.app_name!r}"
+            )
+
+
+@dataclass
+class WorkloadSpec:
+    """A complete workload: ordered arrivals plus provenance metadata."""
+
+    items: list[WorkloadItem]
+    mode: str = "validation"            # "validation" | "performance"
+    time_frame: float = 0.0             # µs (performance mode window)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.items = sorted(self.items, key=lambda it: it.arrival_time)
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for item in self.items:
+            out[item.app_name] = out.get(item.app_name, 0) + 1
+        return out
+
+    def injection_rate_per_ms(self) -> float:
+        """Average injection rate in jobs per millisecond (performance mode)."""
+        if self.time_frame <= 0:
+            return 0.0
+        return self.size / (self.time_frame / MS)
+
+
+def validation_workload(app_counts: dict[str, int]) -> WorkloadSpec:
+    """All instances at t=0 (functional-verification mode)."""
+    items: list[WorkloadItem] = []
+    for app_name, count in app_counts.items():
+        if count < 0:
+            raise ApplicationSpecError(f"negative count for {app_name!r}")
+        items.extend(WorkloadItem(app_name, 0.0) for _ in range(count))
+    if not items:
+        raise ApplicationSpecError("validation workload is empty")
+    return WorkloadSpec(
+        items=items,
+        mode="validation",
+        description=f"validation: {dict(sorted(app_counts.items()))}",
+    )
+
+
+def periodic_arrivals(
+    period: float,
+    time_frame: float,
+    probability: float = 1.0,
+    rng: np.random.Generator | None = None,
+    phase: float = 0.0,
+) -> list[float]:
+    """Arrival instants for one application: every ``period`` µs within
+    ``[0, time_frame)``, each kept with ``probability``."""
+    if period <= 0:
+        raise ApplicationSpecError(f"period must be positive, got {period}")
+    if not 0.0 <= probability <= 1.0:
+        raise ApplicationSpecError(f"probability out of range: {probability}")
+    arrivals: list[float] = []
+    k = 0
+    # Multiply rather than accumulate so float error cannot admit an extra
+    # k*period == time_frame arrival (period is often time_frame/count).
+    eps = 1e-9 * max(time_frame, 1.0)
+    while True:
+        t = phase + k * period
+        if t >= time_frame - eps:
+            break
+        if probability >= 1.0 or (rng is not None and rng.random() < probability):
+            arrivals.append(t)
+        k += 1
+    return arrivals
+
+
+def performance_workload(
+    app_periods: dict[str, float],
+    time_frame: float = 100.0 * MS,
+    probabilities: dict[str, float] | None = None,
+    seed: int | None = None,
+) -> WorkloadSpec:
+    """Probabilistic periodic trace over the test time-frame.
+
+    ``app_periods`` maps app name → injection period in µs; the optional
+    ``probabilities`` map defaults each app to 1.0 (the paper's setting).
+    """
+    if time_frame <= 0:
+        raise ApplicationSpecError("time_frame must be positive")
+    probabilities = probabilities or {}
+    factory = SeedSequenceFactory(seed)
+    items: list[WorkloadItem] = []
+    for app_name, period in sorted(app_periods.items()):
+        prob = probabilities.get(app_name, 1.0)
+        rng = factory.rng("arrivals", app_name) if prob < 1.0 else None
+        for t in periodic_arrivals(period, time_frame, prob, rng):
+            items.append(WorkloadItem(app_name, t))
+    if not items:
+        raise ApplicationSpecError("performance workload is empty")
+    return WorkloadSpec(
+        items=items,
+        mode="performance",
+        time_frame=time_frame,
+        description=(
+            f"performance: periods={ {k: round(v, 1) for k, v in app_periods.items()} }"
+            f" over {time_frame / MS:.0f}ms"
+        ),
+    )
+
+
+def workload_for_counts(
+    app_counts: dict[str, int], time_frame: float = 100.0 * MS
+) -> WorkloadSpec:
+    """Performance-mode workload hitting exact per-app instance counts.
+
+    Inverts the paper's Table II: given target counts over the window, the
+    per-app period is ``time_frame / count`` (probability 1), producing
+    exactly ``count`` arrivals at k·period for k = 0..count-1.
+    """
+    periods = {}
+    for app_name, count in app_counts.items():
+        if count <= 0:
+            continue
+        periods[app_name] = time_frame / count
+    if not periods:
+        raise ApplicationSpecError("no positive app counts given")
+    spec = performance_workload(periods, time_frame)
+    actual = spec.counts()
+    expected = {k: v for k, v in app_counts.items() if v > 0}
+    if actual != expected:
+        raise ApplicationSpecError(
+            f"count inversion failed: wanted {expected}, got {actual}"
+        )
+    return spec

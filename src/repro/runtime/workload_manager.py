@@ -1,0 +1,221 @@
+"""Workload-manager core logic (paper Sec. II-C, Fig. 3).
+
+Backend-independent state machine shared by the virtual and threaded
+backends: injection of arrived applications, completion monitoring and
+ready-list maintenance, policy invocation with assignment validation, and
+dispatch bookkeeping.  The backends own *time* (virtual clock vs. wall
+clock) and the mechanics of waiting; this core owns *what happens* in each
+workload-manager pass.
+"""
+
+from __future__ import annotations
+
+from repro.appmodel.instance import ApplicationInstance, TaskInstance
+from repro.common.errors import EmulationError
+from repro.runtime.handler import PEStatus, ResourceHandler
+from repro.runtime.schedulers.base import Assignment, Scheduler, validate_assignments
+from repro.runtime.stats import EmulationStats
+
+
+class ReadyList:
+    """The ready task list, tuned for the WM's access pattern.
+
+    Policies iterate it in FIFO order and read its length; the WM removes
+    the dispatched tasks each pass.  Removals are recorded in a tombstone
+    set and compacted lazily once they outnumber live entries, making each
+    pass O(live + dispatched) amortized instead of O(queue length).
+    """
+
+    __slots__ = ("_items", "_dead", "_ids")
+
+    def __init__(self) -> None:
+        self._items: list[TaskInstance] = []
+        self._dead: set[int] = set()
+        self._ids: set[int] = set()
+
+    def extend(self, tasks: list[TaskInstance]) -> None:
+        self._items.extend(tasks)
+        self._ids.update(id(t) for t in tasks)
+
+    def remove_ids(self, ids: set[int]) -> None:
+        self._dead |= ids
+        self._ids -= ids
+        if len(self._dead) > max(64, len(self._ids)):
+            self._items = [t for t in self._items if id(t) not in self._dead]
+            self._dead.clear()
+
+    def __iter__(self):
+        dead = self._dead
+        if not dead:
+            return iter(self._items)
+        return (t for t in self._items if id(t) not in dead)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __bool__(self) -> bool:
+        return bool(self._ids)
+
+    def __contains__(self, task: object) -> bool:
+        return id(task) in self._ids
+
+    def snapshot(self) -> list[TaskInstance]:
+        return list(iter(self))
+
+
+class WorkloadManagerCore:
+    """One emulation's WM state: workload queue, ready list, dispatch."""
+
+    def __init__(
+        self,
+        instances: list[ApplicationInstance],
+        handlers: list[ResourceHandler],
+        scheduler: Scheduler,
+        stats: EmulationStats,
+        *,
+        validate: bool = True,
+    ) -> None:
+        # Workload queue, ordered by arrival (the application handler built it so).
+        self.instances = instances
+        self.handlers = handlers
+        self.scheduler = scheduler
+        self.stats = stats
+        self.validate = validate
+        self.ready = ReadyList()
+        self.arrival_idx = 0
+        self.apps_completed = 0
+        self.tasks_outstanding = sum(i.task_count for i in instances)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.instances)
+
+    def all_complete(self) -> bool:
+        return self.apps_completed == self.n_apps
+
+    def next_arrival(self) -> float | None:
+        """Arrival time of the workload queue's head, or None when drained."""
+        if self.arrival_idx >= len(self.instances):
+            return None
+        return self.instances[self.arrival_idx].arrival_time
+
+    def has_due_arrival(self, now: float) -> bool:
+        nxt = self.next_arrival()
+        return nxt is not None and nxt <= now
+
+    # -- the three steps of a WM pass -----------------------------------------------
+
+    def process_completions(
+        self, completions: list[tuple[ResourceHandler, TaskInstance]], now: float
+    ) -> int:
+        """Monitor step: bookkeep finished tasks, release PEs, grow ready list."""
+        for handler, task in completions:
+            # Plain-dispatch PEs park in COMPLETE until acknowledged here;
+            # self-serving (reservation) PEs manage their own status.
+            if handler.status is PEStatus.COMPLETE:
+                handler.acknowledge_complete()
+            # The backends deliver completions through their own queues; the
+            # handler-side buffer exists for the monitoring protocol and is
+            # cleared here so it cannot grow without bound.
+            if handler.finished_tasks:
+                handler.drain_finished()
+            newly_ready = task.app.on_task_complete(task, now)
+            self.ready.extend(newly_ready)
+            self.stats.record_task(task, handler.pe)
+            self.tasks_outstanding -= 1
+            if task.app.is_complete:
+                self.apps_completed += 1
+                self.stats.record_app_completion(task.app)
+        return len(completions)
+
+    def inject_due(self, now: float) -> int:
+        """Injection step: move arrived applications into the emulation."""
+        injected = 0
+        while self.arrival_idx < len(self.instances):
+            instance = self.instances[self.arrival_idx]
+            if instance.arrival_time > now:
+                break
+            instance.inject_time = now
+            heads = instance.head_tasks()
+            for task in heads:
+                task.mark_ready(now)
+            self.ready.extend(heads)
+            self.arrival_idx += 1
+            injected += 1
+        if injected:
+            self.stats.record_injection(injected)
+        return injected
+
+    def run_policy(self, now: float) -> list[Assignment]:
+        """Apply the user-selected policy to the ready list (no side effects)."""
+        if not self.ready:
+            return []
+        assignments = self.scheduler.schedule(self.ready, self.handlers, now)
+        if self.validate and assignments:
+            validate_assignments(
+                assignments, self.ready,
+                allow_busy=self.scheduler.uses_reservation,
+            )
+        return assignments
+
+    def commit(self, assignments: list[Assignment], now: float) -> None:
+        """Dispatch step: remove selected tasks from the ready list, stamp
+        them, update per-PE availability estimates, and hand them to PEs."""
+        if not assignments:
+            return
+        chosen = {id(a.task) for a in assignments}
+        self.ready.remove_ids(chosen)
+        for a in assignments:
+            binding = a.task.node.binding_for_any(a.handler.accepted_platforms)
+            if binding is None:
+                raise EmulationError(
+                    f"task {a.task.qualified_name()} has no binding for PE "
+                    f"{a.handler.name}"
+                )
+            a.task.mark_dispatched(now, a.handler, binding)
+        # availability estimates for lookahead policies
+        oracle = self.scheduler.oracle
+        if oracle is not None:
+            for a in assignments:
+                est = oracle.estimate(a.task, a.handler)
+                if est is None:
+                    continue
+                base = max(a.handler.estimated_free_time, now)
+                if a.handler.status is PEStatus.IDLE:
+                    base = now
+                a.handler.estimated_free_time = base + est
+
+    def check_liveness(self, now: float, pending_completions: int = 0) -> None:
+        """Deadlock guard: work remains but nothing can ever progress.
+
+        ``pending_completions`` is the backend's count of finished tasks
+        not yet run through :meth:`process_completions`; completions that
+        landed while the scheduling pass was executing still unlock work,
+        so they defer the verdict to the next pass.
+        """
+        if self.all_complete() or pending_completions:
+            return
+        any_running = any(h.status is not PEStatus.IDLE for h in self.handlers)
+        if any_running or self.next_arrival() is not None:
+            return
+        if self.ready:
+            supported: set[str] = set()
+            for h in self.handlers:
+                supported.update(h.accepted_platforms)
+            stuck = [
+                t.qualified_name()
+                for t in self.ready
+                if not (set(t.node.platform_names()) & supported)
+            ]
+            if stuck:
+                raise EmulationError(
+                    f"deadlock at t={now:.1f}us: tasks with no supporting PE "
+                    f"in this configuration: {stuck[:5]}"
+                )
+        else:
+            raise EmulationError(
+                f"deadlock at t={now:.1f}us: {self.tasks_outstanding} tasks "
+                "outstanding but none ready, none running, none arriving"
+            )

@@ -1,0 +1,26 @@
+"""Discrete-event simulation engine.
+
+A compact generator-coroutine DES in the style of SimPy, purpose-built for
+the virtual-time execution backend: an event heap with a virtual clock
+(microseconds), processes written as generators that ``yield`` events, and a
+host-core resource model with round-robin time slicing and context-switch
+overhead (needed to reproduce the paper's resource-manager core-sharing
+effects).
+"""
+
+from repro.sim.engine import Engine, Event, Timeout, Interrupt, AllOf, AnyOf
+from repro.sim.process import Process
+from repro.sim.resources import FifoResource, HostCore, Mailbox
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "FifoResource",
+    "HostCore",
+    "Mailbox",
+]

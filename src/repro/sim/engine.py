@@ -1,0 +1,239 @@
+"""Event heap and virtual clock.
+
+Design notes
+------------
+* Time is a float in canonical microseconds (see :mod:`repro.common.units`).
+* Events are scheduled onto a binary heap keyed ``(time, seq)``; ``seq`` is a
+  monotone tiebreaker so same-time events fire in schedule order, which makes
+  runs deterministic.
+* Callbacks attached to an event run when the heap pops it.  A
+  :class:`~repro.sim.process.Process` is itself driven by registering its
+  ``_resume`` bound method as a callback on whatever event it yielded.
+* The engine is single-threaded by construction; the virtual backend uses it
+  to model the multi-threaded C runtime without any host-thread
+  nondeterminism (profiling the C runtime's behaviour, not its host).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from typing import Any
+
+from repro.common.errors import EmulationError
+
+# Event lifecycle states.
+_PENDING = 0
+_SCHEDULED = 1
+_FIRED = 2
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    Events are created against an :class:`Engine` and fire at most once,
+    carrying an optional ``value``.  ``succeed()`` schedules the event for
+    the current instant; ``schedule_at``/``schedule_in`` place it in the
+    future.
+    """
+
+    __slots__ = ("engine", "callbacks", "value", "_state", "ok")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[[Event], None]] = []
+        self.value: Any = None
+        self.ok: bool = True
+        self._state = _PENDING
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled or has fired."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _FIRED
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event now (at the current virtual time)."""
+        if self._state != _PENDING:
+            raise EmulationError("event already triggered")
+        self.value = value
+        self._state = _SCHEDULED
+        self.engine._push(self.engine.now, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event now, delivering an exception to waiters."""
+        if self._state != _PENDING:
+            raise EmulationError("event already triggered")
+        self.value = exc
+        self.ok = False
+        self._state = _SCHEDULED
+        self.engine._push(self.engine.now, self)
+        return self
+
+    # internal --------------------------------------------------------------
+
+    def _fire(self) -> None:
+        self._state = _FIRED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise EmulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.value = value
+        self._state = _SCHEDULED
+        engine._push(engine.now + delay, self)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Composite(Event):
+    """Base for AllOf/AnyOf condition events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, engine: "Engine", events: list[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._child_fired(ev)
+            else:
+                ev.callbacks.append(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Composite):
+    """Fires when every constituent event has fired; value = list of values."""
+
+    __slots__ = ()
+
+    def _child_fired(self, ev: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and self._state == _PENDING:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Composite):
+    """Fires when the first constituent event fires; value = (event, value)."""
+
+    __slots__ = ()
+
+    def _child_fired(self, ev: Event) -> None:
+        if self._state == _PENDING:
+            self.succeed((ev, ev.value))
+
+
+class Engine:
+    """The event loop: a heap of ``(time, seq, event)`` and a clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._running = False
+
+    # scheduling ------------------------------------------------------------
+
+    def _push(self, at: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, event))
+
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` µs from now."""
+        return Timeout(self, delay, value)
+
+    def schedule_at(self, at: float, value: Any = None) -> Event:
+        """An event firing at absolute virtual time ``at`` (µs)."""
+        if at < self.now:
+            raise EmulationError(f"cannot schedule in the past: {at} < {self.now}")
+        ev = Event(self)
+        ev.value = value
+        ev._state = _SCHEDULED
+        self._push(at, ev)
+        return ev
+
+    def call_at(self, at: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute time ``at``."""
+        ev = self.schedule_at(at)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` µs."""
+        return self.call_at(self.now + delay, fn)
+
+    def process(self, generator) -> "Process":
+        """Start a generator as a simulation process."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # execution -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Pop and fire the next event."""
+        at, _seq, event = heapq.heappop(self._heap)
+        self.now = at
+        event._fire()
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the heap; returns the final clock value.
+
+        ``until`` stops the clock at a horizon (events beyond it stay
+        queued); ``max_events`` is a runaway guard for tests.
+        """
+        if self._running:
+            raise EmulationError("engine is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise EmulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+        finally:
+            self._running = False
+        return self.now
+
+    def peek(self) -> float | None:
+        """Time of the next queued event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Engine(now={self.now:.3f}us, queued={len(self._heap)})"

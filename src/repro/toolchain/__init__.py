@@ -1,0 +1,56 @@
+"""Automatic application conversion (paper Sec. II-E, Fig. 5).
+
+Converts a monolithic, unlabeled Python function into a framework-
+compatible DAG application through the paper's pipeline, stage for stage:
+
+1. **Trace instrumentation** (:mod:`repro.toolchain.tracing`) — a
+   ``sys.settrace`` line tracer (the TraceAtlas analog) records the dynamic
+   execution trace of the program over its top-level statement blocks.
+2. **Kernel detection** (:mod:`repro.toolchain.trace_analysis`) — blocks
+   whose dynamic work dominates the trace are labeled *kernels*; the
+   remaining contiguous runs of blocks become *non-kernels*.
+3. **Memory analysis** (:mod:`repro.toolchain.memory_analysis`) — static
+   liveness over the AST plus dynamic type/size observation at segment
+   boundaries determine each variable's storage requirements.
+4. **Code outlining** (:mod:`repro.toolchain.outline`) — the LLVM
+   CodeExtractor analog refactors each segment into a standalone function
+   reading/writing framework variables.
+5. **Kernel recognition** (:mod:`repro.toolchain.recognition`) — detected
+   kernels are matched (normalized-AST hash + operational probe) against a
+   library of known computations; a recognized naive DFT/IDFT is rebound to
+   an optimized FFT runfunc and given an accelerator platform entry.
+6. **DAG generation** (:mod:`repro.toolchain.dag_generation`) — emits the
+   Listing-1-compatible task graph and the generated kernel shared object.
+
+:func:`repro.toolchain.pipeline.convert` runs all stages.
+"""
+
+from repro.toolchain.blocks import StatementBlock, split_into_blocks
+from repro.toolchain.tracing import DynamicTrace, trace_function
+from repro.toolchain.trace_analysis import Segment, detect_kernels
+from repro.toolchain.memory_analysis import (
+    VariableObservation,
+    analyze_liveness,
+    observe_segments,
+)
+from repro.toolchain.outline import OutlinedSegment, outline_segments
+from repro.toolchain.recognition import RecognitionResult, recognize_kernels
+from repro.toolchain.pipeline import ConversionResult, convert
+
+__all__ = [
+    "StatementBlock",
+    "split_into_blocks",
+    "DynamicTrace",
+    "trace_function",
+    "Segment",
+    "detect_kernels",
+    "VariableObservation",
+    "analyze_liveness",
+    "observe_segments",
+    "OutlinedSegment",
+    "outline_segments",
+    "RecognitionResult",
+    "recognize_kernels",
+    "ConversionResult",
+    "convert",
+]

@@ -1,0 +1,138 @@
+"""Statement blocks: the toolchain's unit of tracing and outlining.
+
+The LLVM toolchain works on IR basic blocks; the Python analog splits a
+monolithic function's body into its *top-level statements* — a loop nest is
+one block, matching the paper's notion of a kernel as "a set of highly
+correlated IR-level blocks" (a hot loop traces as one very hot block here).
+
+The target function must be a linear sequence of top-level statements
+(loops/ifs are fine *inside* a statement); top-level control flow that
+would make the block sequence diverge between runs is rejected, mirroring
+the first-pass scope of the paper's flow.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.errors import ToolchainError
+
+
+@dataclass
+class StatementBlock:
+    """One top-level statement of the monolithic function body."""
+
+    index: int
+    first_line: int          # within the extracted source (1-based)
+    last_line: int
+    node: ast.stmt
+    source: str
+
+    @property
+    def static_lines(self) -> int:
+        return self.last_line - self.first_line + 1
+
+    def summary(self) -> str:
+        head = self.source.strip().splitlines()[0]
+        return head if len(head) <= 60 else head[:57] + "..."
+
+
+@dataclass
+class FunctionBlocks:
+    """The parsed function: its blocks plus source bookkeeping."""
+
+    name: str
+    source: str              # dedented full source of the function
+    body_offset: int         # line of the first body statement
+    blocks: list[StatementBlock]
+    arg_names: tuple[str, ...]
+    line_to_block: dict[int, int] = field(default_factory=dict)
+
+    def block_of_line(self, line: int) -> int | None:
+        return self.line_to_block.get(line)
+
+
+def _line_span(node: ast.stmt) -> tuple[int, int]:
+    last = node.end_lineno if node.end_lineno is not None else node.lineno
+    return node.lineno, last
+
+
+def split_into_blocks(func: Callable) -> FunctionBlocks:
+    """Parse a function into top-level statement blocks."""
+    try:
+        raw = inspect.getsource(func)
+    except (OSError, TypeError) as exc:
+        raise ToolchainError(
+            f"cannot retrieve source of {func!r}: {exc}"
+        ) from exc
+    source = textwrap.dedent(raw)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - inspect gave us valid code
+        raise ToolchainError(f"cannot parse source of {func!r}: {exc}") from exc
+    funcs = [n for n in tree.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    if len(funcs) != 1:
+        raise ToolchainError(
+            f"expected exactly one function definition, found {len(funcs)}"
+        )
+    fn = funcs[0]
+    if isinstance(fn, ast.AsyncFunctionDef):
+        raise ToolchainError("async functions are not supported")
+    body = list(fn.body)
+    # Skip a leading docstring: it is not an executable block.
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    if not body:
+        raise ToolchainError(f"function {fn.name!r} has an empty body")
+    for stmt in body:
+        if isinstance(stmt, (ast.Return, ast.Global, ast.Nonlocal)):
+            continue
+        # ``for`` and ``with`` statements execute linearly at the top level
+        # (one block each); genuinely divergent control flow is rejected.
+        if isinstance(stmt, (ast.If, ast.While, ast.Try, ast.Match)):
+            raise ToolchainError(
+                f"function {fn.name!r}: top-level "
+                f"{type(stmt).__name__} at line {stmt.lineno} is outside the "
+                "toolchain's linear-flow scope (hoist it into a single "
+                "statement or inside a loop body)"
+            )
+    source_lines = source.splitlines()
+    blocks: list[StatementBlock] = []
+    line_map: dict[int, int] = {}
+    for index, stmt in enumerate(body):
+        if isinstance(stmt, ast.Return):
+            # The trailing return is handled by DAG generation, not a block.
+            if index != len(body) - 1:
+                raise ToolchainError(
+                    f"function {fn.name!r}: return before the end of the body"
+                )
+            continue
+        first, last = _line_span(stmt)
+        text = "\n".join(source_lines[first - 1 : last])
+        block = StatementBlock(
+            index=len(blocks),
+            first_line=first,
+            last_line=last,
+            node=stmt,
+            source=textwrap.dedent(text),
+        )
+        for line in range(first, last + 1):
+            line_map[line] = block.index
+        blocks.append(block)
+    return FunctionBlocks(
+        name=fn.name,
+        source=source,
+        body_offset=body[0].lineno,
+        blocks=blocks,
+        arg_names=tuple(a.arg for a in fn.args.args),
+        line_to_block=line_map,
+    )

@@ -1,0 +1,248 @@
+"""Memory-requirement analysis for outlined segments.
+
+Static part: per-segment def/use sets from the AST give each segment's
+live-in and live-out variables (what the outlined function must read from
+and write back to the framework's memory).
+
+Dynamic part: the segments are executed once, in order, in a controlled
+namespace; at every segment boundary the types and sizes of the live
+variables are observed.  This is the analog of the paper's analysis of
+"static memory allocation in terms of variable declarations as well as
+dynamic memory allocation by attempting to statically determine the
+parameters passed into initial malloc/calloc calls" — in Python the
+observation *is* the allocation record.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ToolchainError
+from repro.toolchain.blocks import FunctionBlocks
+from repro.toolchain.trace_analysis import Segment
+
+_SUPPORTED_KINDS = ("int", "float", "complex", "ndarray", "str")
+
+
+@dataclass(frozen=True)
+class VariableObservation:
+    """Observed runtime storage requirements of one variable."""
+
+    name: str
+    kind: str                 # one of _SUPPORTED_KINDS
+    dtype: str = ""           # ndarray only
+    length: int = 0           # ndarray: element count; str: max bytes
+    nbytes: int = 8
+
+    def describe(self) -> str:
+        if self.kind == "ndarray":
+            return f"{self.name}: {self.dtype}[{self.length}] ({self.nbytes} B)"
+        return f"{self.name}: {self.kind} ({self.nbytes} B)"
+
+
+def observe_value(name: str, value: object) -> VariableObservation:
+    """Classify a runtime value into a storable observation."""
+    if isinstance(value, (bool, int, np.integer)):
+        return VariableObservation(name=name, kind="int", nbytes=8)
+    if isinstance(value, (float, np.floating)):
+        return VariableObservation(name=name, kind="float", nbytes=8)
+    if isinstance(value, (complex, np.complexfloating)):
+        return VariableObservation(name=name, kind="complex", nbytes=16)
+    if isinstance(value, np.ndarray):
+        if value.ndim != 1:
+            raise ToolchainError(
+                f"variable {name!r}: only 1-D arrays cross segment "
+                f"boundaries (got shape {value.shape}); flatten it"
+            )
+        return VariableObservation(
+            name=name,
+            kind="ndarray",
+            dtype=value.dtype.str,
+            length=int(value.size),
+            nbytes=int(value.nbytes),
+        )
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        # Headroom for paths/labels that vary slightly between runs.
+        cap = max(64, 2 * len(raw))
+        return VariableObservation(name=name, kind="str", length=cap, nbytes=cap)
+    if isinstance(value, list) and value and all(
+        isinstance(v, (int, float, complex, np.number)) for v in value
+    ):
+        arr = np.asarray(value)
+        return VariableObservation(
+            name=name,
+            kind="ndarray",
+            dtype=arr.dtype.str,
+            length=int(arr.size),
+            nbytes=int(arr.nbytes),
+        )
+    raise ToolchainError(
+        f"variable {name!r} of type {type(value).__name__} cannot cross a "
+        f"segment boundary (supported: {_SUPPORTED_KINDS}, numeric lists)"
+    )
+
+
+# -- static liveness ----------------------------------------------------------------
+
+
+class _DefUse(ast.NodeVisitor):
+    """Defs and uses of simple names within one statement block.
+
+    ``open(path, "w"/"a")`` and ``open(path)`` calls are additionally
+    tracked as writes/reads of a *file pseudo-resource* keyed by the path
+    expression, so file side effects order segments in the generated DAG
+    even though no program variable flows between them.
+    """
+
+    def __init__(self) -> None:
+        self.defs: set[str] = set()
+        self.uses: set[str] = set()
+        self.resource_defs: set[str] = set()
+        self.resource_uses: set[str] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "open" and node.args:
+            key = f"file:{ast.unparse(node.args[0])}"
+            mode = ""
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+                mode = str(node.args[1].value)
+            for kw in node.keywords:
+                if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                    mode = str(kw.value.value)
+            if any(m in mode for m in ("w", "a", "x", "+")):
+                self.resource_defs.add(key)
+            else:
+                self.resource_uses.add(key)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.defs.add(node.id)
+        else:
+            # A name that is both read and later written counts as a use if
+            # the read could precede the local def; conservatively treat any
+            # load as a use unless already defined in this block.
+            if node.id not in self.defs:
+                self.uses.add(node.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # x += ... both uses and defines x.
+        if isinstance(node.target, ast.Name):
+            if node.target.id not in self.defs:
+                self.uses.add(node.target.id)
+            self.defs.add(node.target.id)
+        self.visit(node.value)
+        if not isinstance(node.target, ast.Name):
+            self.visit(node.target)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # x[i] = ... mutates x in place: x is used *and* (re)defined.
+        if isinstance(node.ctx, ast.Store) and isinstance(node.value, ast.Name):
+            if node.value.id not in self.defs:
+                self.uses.add(node.value.id)
+            self.defs.add(node.value.id)
+        self.generic_visit(node)
+
+
+@dataclass
+class SegmentLiveness:
+    segment: Segment
+    uses: frozenset[str]
+    defs: frozenset[str]
+    live_in: tuple[str, ...] = ()
+    live_out: tuple[str, ...] = ()
+    resource_uses: frozenset[str] = frozenset()
+    resource_defs: frozenset[str] = frozenset()
+
+
+def analyze_liveness(
+    blocks: FunctionBlocks,
+    segments: list[Segment],
+    *,
+    external_names: frozenset[str] = frozenset(),
+    result_names: frozenset[str] = frozenset(),
+    initial_names: frozenset[str] = frozenset(),
+) -> list[SegmentLiveness]:
+    """Per-segment live-in/live-out over the linear segment sequence.
+
+    ``external_names`` (modules and builtins) are excluded from the
+    variable table; ``initial_names`` (the function's arguments) are
+    defined before the first segment; ``result_names`` are treated as used
+    after the last segment (the application's outputs).
+    """
+    infos: list[SegmentLiveness] = []
+    for seg in segments:
+        du = _DefUse()
+        for bi in seg.block_indices:
+            du.visit(blocks.blocks[bi].node)
+        infos.append(
+            SegmentLiveness(
+                segment=seg,
+                uses=frozenset(du.uses - external_names),
+                defs=frozenset(du.defs - external_names),
+                resource_uses=frozenset(du.resource_uses),
+                resource_defs=frozenset(du.resource_defs),
+            )
+        )
+    defined_before: set[str] = set(initial_names)
+    for info in infos:
+        info.live_in = tuple(sorted(info.uses & defined_before))
+        defined_before |= info.defs
+    used_after: set[str] = set(result_names)
+    for info in reversed(infos):
+        info.live_out = tuple(sorted(info.defs & used_after))
+        used_after |= info.uses
+    return infos
+
+
+# -- dynamic observation ----------------------------------------------------------------
+
+
+def observe_segments(
+    blocks: FunctionBlocks,
+    segments: list[Segment],
+    liveness: list[SegmentLiveness],
+    global_ns: dict,
+    initial_locals: dict | None = None,
+) -> dict[str, VariableObservation]:
+    """Execute segments in order, observing boundary-crossing variables.
+
+    Returns the final observation per variable name; a variable whose array
+    length changed between boundaries is rejected (the framework allocates
+    fixed storage at instance initialization, like the JSON ``Variables``).
+    """
+    env = dict(initial_locals or {})
+    observations: dict[str, VariableObservation] = {}
+    for name, value in env.items():
+        observations[name] = observe_value(name, value)
+    for seg, info in zip(segments, liveness):
+        source = "\n".join(blocks.blocks[bi].source for bi in seg.block_indices)
+        try:
+            code = compile(source, f"<segment {seg.name}>", "exec")
+            exec(code, global_ns, env)  # noqa: S102 - controlled toolchain input
+        except Exception as exc:
+            raise ToolchainError(
+                f"segment {seg.name} failed during observation run: {exc}"
+            ) from exc
+        for name in info.live_out:
+            if name not in env:
+                raise ToolchainError(
+                    f"segment {seg.name}: live-out {name!r} was not defined "
+                    "at runtime"
+                )
+            obs = observe_value(name, env[name])
+            prev = observations.get(name)
+            if prev is not None and prev.kind == obs.kind == "ndarray":
+                if prev.nbytes != obs.nbytes or prev.dtype != obs.dtype:
+                    raise ToolchainError(
+                        f"variable {name!r} changed storage between segments "
+                        f"({prev.describe()} -> {obs.describe()}); the "
+                        "framework requires fixed allocations"
+                    )
+            observations[name] = obs
+    return observations

@@ -1,0 +1,214 @@
+"""Code outlining — the LLVM CodeExtractor analog.
+
+Each kernel / non-kernel segment is refactored into a standalone function
+with the framework's kernel calling convention: read live-in variables out
+of the instance's emulated memory, execute the original statements
+unchanged, write live-out variables back.  The original application
+becomes "a sequence of function calls, where each function call invokes the
+proper group of blocks necessary to recreate the original application
+behavior".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.appmodel.library import KernelContext
+from repro.appmodel.variables import VariableSpec, buffer_spec, scalar_spec
+from repro.common.errors import ToolchainError
+from repro.toolchain.blocks import FunctionBlocks
+from repro.toolchain.memory_analysis import SegmentLiveness, VariableObservation
+from repro.toolchain.trace_analysis import Segment
+
+
+# -- value <-> framework-variable codecs --------------------------------------------
+
+
+def variable_spec_for(
+    obs: VariableObservation, initial: object = None
+) -> VariableSpec:
+    """A Listing-1 variable declaration for an observed variable.
+
+    When ``initial`` is given its byte image becomes the JSON ``val``
+    initializer (how the toolchain bakes the monolithic function's argument
+    values into the generated application).
+    """
+    if obs.kind == "int":
+        return scalar_spec(obs.name, int(initial) if initial is not None else 0,
+                           nbytes=8)
+    if obs.kind == "float":
+        init = np.float64(initial if initial is not None else 0.0)
+        return buffer_spec(obs.name, 8, init=np.atleast_1d(init),
+                           dtype_hint="float64")
+    if obs.kind == "complex":
+        init = np.complex128(initial if initial is not None else 0.0)
+        return buffer_spec(obs.name, 16, init=np.atleast_1d(init),
+                           dtype_hint="complex128")
+    if obs.kind == "ndarray":
+        init_arr = None
+        if initial is not None:
+            init_arr = np.asarray(initial, dtype=np.dtype(obs.dtype)).reshape(-1)
+        return buffer_spec(obs.name, obs.nbytes, init=init_arr,
+                           dtype_hint=obs.dtype)
+    if obs.kind == "str":
+        raw = b""
+        if initial is not None:
+            raw = str(initial).encode("utf-8")
+            if len(raw) > obs.length:
+                raise ToolchainError(
+                    f"string {obs.name!r} initializer exceeds observed capacity"
+                )
+        return buffer_spec(obs.name, obs.length, init=raw, dtype_hint="uint8")
+    raise ToolchainError(f"unsupported variable kind {obs.kind!r}")
+
+
+def decode_variable(ctx: KernelContext, obs: VariableObservation) -> object:
+    """Materialize a framework variable as the Python value the original
+    code expects."""
+    if obs.kind == "int":
+        return ctx.int(obs.name)
+    if obs.kind == "float":
+        return float(ctx.array(obs.name, np.float64)[0])
+    if obs.kind == "complex":
+        return complex(ctx.array(obs.name, np.complex128)[0])
+    if obs.kind == "ndarray":
+        # A view into emulated memory: in-place writes are shared-memory
+        # communication, exactly as for the handcrafted applications.
+        return ctx.array(obs.name, np.dtype(obs.dtype), obs.length)
+    if obs.kind == "str":
+        raw = bytes(ctx.array(obs.name, np.uint8))
+        return raw.rstrip(b"\x00").decode("utf-8")
+    raise ToolchainError(f"unsupported variable kind {obs.kind!r}")
+
+
+def encode_variable(ctx: KernelContext, obs: VariableObservation,
+                    value: object) -> None:
+    """Write a Python value back into its framework variable."""
+    if obs.kind == "int":
+        ctx.set_int(obs.name, int(value))
+        return
+    if obs.kind == "float":
+        ctx.array(obs.name, np.float64)[0] = np.float64(value)
+        return
+    if obs.kind == "complex":
+        ctx.array(obs.name, np.complex128)[0] = np.complex128(value)
+        return
+    if obs.kind == "ndarray":
+        target = ctx.array(obs.name, np.dtype(obs.dtype), obs.length)
+        arr = np.asarray(value, dtype=np.dtype(obs.dtype)).reshape(-1)
+        if arr.size != obs.length:
+            raise ToolchainError(
+                f"variable {obs.name!r}: runtime length {arr.size} != "
+                f"declared {obs.length}"
+            )
+        # May alias `target` when the kernel mutated the view in place.
+        target[:] = arr
+        return
+    if obs.kind == "str":
+        raw = str(value).encode("utf-8")
+        buf = ctx.array(obs.name, np.uint8)
+        if len(raw) > buf.size:
+            raise ToolchainError(
+                f"string {obs.name!r} grew past its declared capacity"
+            )
+        buf[:] = 0
+        buf[: len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+        return
+    raise ToolchainError(f"unsupported variable kind {obs.kind!r}")
+
+
+# -- outlined segments ---------------------------------------------------------------
+
+
+@dataclass
+class OutlinedSegment:
+    """One segment refactored into a framework kernel."""
+
+    segment: Segment
+    liveness: SegmentLiveness
+    runfunc: str
+    kernel: object                      # Kernel callable
+    source: str
+    live_in_obs: tuple[VariableObservation, ...]
+    live_out_obs: tuple[VariableObservation, ...]
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.segment.is_kernel
+
+    def argument_names(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for obs in (*self.live_in_obs, *self.live_out_obs):
+            if obs.name not in seen:
+                seen.append(obs.name)
+        return tuple(seen)
+
+
+def _make_kernel(
+    code,
+    global_ns: dict,
+    live_in: tuple[VariableObservation, ...],
+    live_out: tuple[VariableObservation, ...],
+):
+    def kernel(ctx: KernelContext) -> None:
+        env = {obs.name: decode_variable(ctx, obs) for obs in live_in}
+        exec(code, global_ns, env)  # noqa: S102 - outlined user code
+        for obs in live_out:
+            if obs.name not in env:
+                raise ToolchainError(
+                    f"outlined segment did not produce live-out {obs.name!r}"
+                )
+            encode_variable(ctx, obs, env[obs.name])
+
+    return kernel
+
+
+def outline_segments(
+    blocks: FunctionBlocks,
+    segments: list[Segment],
+    liveness: list[SegmentLiveness],
+    observations: dict[str, VariableObservation],
+    global_ns: dict,
+    *,
+    func_name: str = "app",
+) -> list[OutlinedSegment]:
+    """Refactor every segment into a standalone framework kernel."""
+    outlined: list[OutlinedSegment] = []
+    for seg, info in zip(segments, liveness):
+        source = "\n".join(blocks.blocks[bi].source for bi in seg.block_indices)
+        try:
+            code = compile(source, f"<outlined {func_name}.{seg.name}>", "exec")
+        except SyntaxError as exc:  # pragma: no cover - source came from ast
+            raise ToolchainError(
+                f"cannot compile outlined segment {seg.name}: {exc}"
+            ) from exc
+
+        def obs_for(names: tuple[str, ...]) -> tuple[VariableObservation, ...]:
+            missing = [n for n in names if n not in observations]
+            if missing:
+                raise ToolchainError(
+                    f"segment {seg.name}: no observation for {missing}"
+                )
+            return tuple(observations[n] for n in names)
+
+        live_in_obs = obs_for(info.live_in)
+        live_out_obs = obs_for(info.live_out)
+        runfunc = f"auto_{func_name}_{seg.name.lower()}"
+        outlined.append(
+            OutlinedSegment(
+                segment=seg,
+                liveness=info,
+                runfunc=runfunc,
+                kernel=_make_kernel(code, global_ns, live_in_obs, live_out_obs),
+                source=source,
+                live_in_obs=live_in_obs,
+                live_out_obs=live_out_obs,
+            )
+        )
+    return outlined

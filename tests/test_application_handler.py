@@ -1,0 +1,114 @@
+"""Tests for the application handler: parsing, resolution, instantiation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.appmodel.library import KernelLibrary
+from repro.apps import default_applications, default_kernel_library
+from repro.common.errors import ApplicationSpecError, SymbolResolutionError
+from repro.runtime.application_handler import ApplicationHandler
+from repro.runtime.workload import validation_workload, workload_for_counts
+from tests.conftest import make_diamond_graph, make_diamond_library
+
+
+class TestParsing:
+    def test_register_resolves_every_binding(self):
+        handler = ApplicationHandler(make_diamond_library())
+        resolved = handler.register(make_diamond_graph())
+        assert set(resolved.kernels) == {
+            ("A", "cpu"), ("B", "cpu"), ("B", "fft"), ("C", "cpu"), ("D", "cpu")
+        }
+
+    def test_missing_runfunc_fails_at_parse_time(self):
+        lib = KernelLibrary()
+        lib.register_shared_object("diamond.so", {"k_a": lambda c: None})
+        handler = ApplicationHandler(lib)
+        with pytest.raises(SymbolResolutionError):
+            handler.register(make_diamond_graph())
+
+    def test_per_platform_shared_object_used(self):
+        # remove the accel object: only the fft binding should fail
+        lib = make_diamond_library()
+        lib.register_shared_object("fft_accel.so", {})
+        handler = ApplicationHandler(lib)
+        with pytest.raises(SymbolResolutionError, match="k_b_accel"):
+            handler.register(make_diamond_graph())
+
+    def test_unknown_app_error_lists_available(self):
+        handler = ApplicationHandler(make_diamond_library())
+        handler.register(make_diamond_graph())
+        with pytest.raises(ApplicationSpecError, match="diamond"):
+            handler.resolved("ghost")
+
+    def test_default_suite_parses(self):
+        handler = ApplicationHandler(default_kernel_library())
+        handler.register_all(default_applications())
+        assert handler.app_names() == [
+            "pulse_doppler", "range_detection", "wifi_rx", "wifi_tx"
+        ]
+
+    def test_platform_coverage_check(self):
+        handler = ApplicationHandler(make_diamond_library())
+        handler.register(make_diamond_graph())
+        handler.check_platform_coverage({"cpu", "fft"})
+        handler.check_platform_coverage({"cpu"})  # every node has a cpu binding
+        with pytest.raises(ApplicationSpecError, match="none of which"):
+            handler.check_platform_coverage({"fft"})
+
+
+class TestInstantiation:
+    def make_handler(self):
+        handler = ApplicationHandler(make_diamond_library())
+        handler.register(make_diamond_graph())
+        return handler
+
+    def test_instances_in_arrival_order_with_dense_ids(self):
+        handler = self.make_handler()
+        wl = workload_for_counts({"diamond": 3}, time_frame=300.0)
+        instances = handler.instantiate(wl)
+        assert [i.instance_id for i in instances] == [0, 1, 2]
+        arrivals = [i.arrival_time for i in instances]
+        assert arrivals == sorted(arrivals)
+        all_task_ids = [t.task_id for i in instances for t in i.tasks.values()]
+        assert sorted(all_task_ids) == list(range(12))
+
+    def test_variables_initialized_per_instance(self):
+        handler = self.make_handler()
+        instances = handler.instantiate(validation_workload({"diamond": 2}))
+        a, b = instances
+        a.variables["data"].as_array(np.complex64)[0] = 9.0
+        assert b.variables["data"].as_array(np.complex64)[0] == 0.0
+
+    def test_setup_kernel_runs_at_instantiation(self):
+        from repro.appmodel.builder import GraphBuilder
+
+        b = GraphBuilder("setup_app", "s.so")
+        b.scalar("x", 0)
+        b.setup("init_x")
+        b.node("N", args=["x"], cpu="noop")
+        graph = b.build()
+        lib = KernelLibrary()
+        lib.register_shared_object(
+            "s.so",
+            {"init_x": lambda ctx: ctx.set_int("x", 77),
+             "noop": lambda ctx: None},
+        )
+        handler = ApplicationHandler(lib)
+        handler.register(graph)
+        (instance,) = handler.instantiate(validation_workload({"setup_app": 1}))
+        assert instance.variables["x"].as_int() == 77
+
+    def test_unmaterialized_instances_skip_setup_and_memory(self):
+        handler = self.make_handler()
+        instances = handler.instantiate(
+            validation_workload({"diamond": 2}), materialize_memory=False
+        )
+        assert all(i.variables is None for i in instances)
+
+    def test_id_allocation_continues_across_calls(self):
+        handler = self.make_handler()
+        first = handler.instantiate(validation_workload({"diamond": 1}))
+        second = handler.instantiate(validation_workload({"diamond": 1}))
+        assert second[0].instance_id == first[0].instance_id + 1

@@ -1,0 +1,88 @@
+"""Tests for the dssoc-emulate command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.config == "3C+2F"
+        assert args.policy == "frfs"
+        assert args.backend == "virtual"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pulse_doppler" in out and "frfs" in out
+
+    def test_run_virtual(self, capsys):
+        rc = main(
+            ["run", "--apps", "range_detection=2", "--no-jitter"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["apps_completed"] == 2
+
+    def test_run_threaded_verifies_outputs(self, capsys):
+        rc = main(
+            ["run", "--apps", "wifi_tx=1", "--backend", "threaded",
+             "--config", "2C+0F"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "outputs correct" in out and "True" in out
+
+    def test_run_odroid_platform(self, capsys):
+        rc = main(
+            ["run", "--platform", "odroid_xu3", "--config", "2BIG+1LTL",
+             "--apps", "wifi_tx=1", "--no-jitter"]
+        )
+        assert rc == 0
+
+    def test_perf_rejects_unknown_rate(self, capsys):
+        assert main(["perf", "--rate", "9.99"]) == 2
+
+    def test_perf_runs_table_ii_rate(self, capsys):
+        rc = main(["perf", "--rate", "1.71", "--policy", "frfs"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["apps_injected"] == 171
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_bad_platform_reports_error(self, capsys):
+        rc = main(["run", "--platform", "mars"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_specs_roundtrip(self, tmp_path, capsys):
+        from repro.appmodel.jsonspec import load_graph
+
+        rc = main(["export-specs", "--outdir", str(tmp_path)])
+        assert rc == 0
+        exported = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert exported == [
+            "pulse_doppler.json", "range_detection.json",
+            "wifi_rx.json", "wifi_tx.json",
+        ]
+        graph = load_graph(tmp_path / "pulse_doppler.json")
+        assert graph.task_count == 770

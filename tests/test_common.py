@@ -1,0 +1,150 @@
+"""Tests for repro.common: units, RNG streams, id allocation, errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import (
+    IdAllocator,
+    SeedSequenceFactory,
+    derive_seed,
+    format_bytes,
+    format_duration,
+    monotonic_names,
+    msec,
+    sec,
+    to_msec,
+    to_sec,
+    usec,
+)
+from repro.common.errors import (
+    ApplicationSpecError,
+    EmulationError,
+    HardwareConfigError,
+    MemoryError_,
+    ReproError,
+    SchedulingError,
+    SymbolResolutionError,
+    ToolchainError,
+)
+
+
+class TestUnits:
+    def test_msec_is_thousand_usec(self):
+        assert msec(1) == 1000.0
+
+    def test_sec_is_million_usec(self):
+        assert sec(1) == 1_000_000.0
+
+    def test_usec_identity(self):
+        assert usec(42.5) == 42.5
+
+    def test_roundtrip_ms(self):
+        assert to_msec(msec(3.25)) == pytest.approx(3.25)
+
+    def test_roundtrip_sec(self):
+        assert to_sec(sec(7.5)) == pytest.approx(7.5)
+
+    def test_format_duration_us(self):
+        assert format_duration(2.5) == "2.500 us"
+
+    def test_format_duration_ms(self):
+        assert format_duration(5600.0) == "5.600 ms"
+
+    def test_format_duration_s(self):
+        assert format_duration(101_920_000.0) == "101.920 s"
+
+    def test_format_duration_negative(self):
+        assert format_duration(-1500.0) == "-1.500 ms"
+
+    def test_format_bytes(self):
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0 MiB"
+        assert format_bytes(12) == "12 B"
+
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_conversions_are_inverse(self, value):
+        assert to_msec(msec(value)) == pytest.approx(value, rel=1e-12)
+        assert to_sec(sec(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_derive_seed_distinguishes_names(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_derive_seed_distinguishes_roots(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_factory_same_path_same_stream(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.rng("jitter", "pe0").random(5)
+        b = factory.rng("jitter", "pe0").random(5)
+        assert np.array_equal(a, b)
+
+    def test_factory_different_paths_differ(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.rng("jitter", "pe0").random(5)
+        b = factory.rng("jitter", "pe1").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_gives_child_namespace(self):
+        factory = SeedSequenceFactory(7)
+        child = factory.spawn("run", 3)
+        assert child.seed("x") == derive_seed(factory.seed("run", 3), "x")
+
+    def test_default_seed_used_for_none(self):
+        assert SeedSequenceFactory(None).root_seed == SeedSequenceFactory(None).root_seed
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_derived_seed_in_range(self, root, name):
+        seed = derive_seed(root, name)
+        assert 0 <= seed < 2**63
+
+
+class TestIds:
+    def test_allocator_monotone(self):
+        alloc = IdAllocator()
+        assert [alloc.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_allocator_peek_does_not_consume(self):
+        alloc = IdAllocator(10)
+        assert alloc.peek() == 10
+        assert alloc.allocate() == 10
+
+    def test_allocator_reset(self):
+        alloc = IdAllocator()
+        alloc.allocate()
+        alloc.reset(5)
+        assert alloc.allocate() == 5
+
+    def test_monotonic_names(self):
+        names = monotonic_names("pe")
+        assert [next(names) for _ in range(3)] == ["pe0", "pe1", "pe2"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ApplicationSpecError,
+            SymbolResolutionError,
+            SchedulingError,
+            HardwareConfigError,
+            MemoryError_,
+            ToolchainError,
+            EmulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert MemoryError_ is not MemoryError

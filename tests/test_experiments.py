@@ -1,0 +1,135 @@
+"""Tests for the experiment drivers (scaled-down versions of each study)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import workloads as wl
+from repro.experiments.case_study_1 import check_fig9_shape, render_fig9, run_fig9
+from repro.experiments.case_study_2 import (
+    PAPER_TABLE_I,
+    check_fig10_shape,
+    render_fig10,
+    render_table_i,
+    run_fig10,
+    run_table_i,
+)
+from repro.experiments.case_study_3 import (
+    check_fig11_shape,
+    render_fig11,
+    run_fig11,
+)
+
+
+class TestWorkloadDefinitions:
+    @pytest.mark.parametrize("rate,counts", sorted(wl.TABLE_II_COUNTS.items()))
+    def test_counts_sum_to_rate_times_window(self, rate, counts):
+        assert sum(counts.values()) == round(rate * 100)
+
+    def test_fig9_workload_single_instances(self):
+        spec = wl.fig9_workload()
+        assert spec.counts() == {
+            "pulse_doppler": 1, "range_detection": 1,
+            "wifi_tx": 1, "wifi_rx": 1,
+        }
+        assert all(i.arrival_time == 0.0 for i in spec.items)
+
+    def test_table_ii_workload_lookup(self):
+        spec = wl.table_ii_workload(2.28)
+        assert spec.counts() == wl.TABLE_II_COUNTS[2.28]
+        with pytest.raises(KeyError):
+            wl.table_ii_workload(99.0)
+
+    def test_workload_at_rate_scales_mix(self):
+        spec = wl.workload_at_rate(4.0)
+        counts = spec.counts()
+        assert sum(counts.values()) == pytest.approx(400, abs=10)
+        assert counts["range_detection"] > counts["pulse_doppler"]
+
+    def test_config_lists_match_paper(self):
+        assert len(wl.FIG9_CONFIGS) == 7
+        assert len(wl.FIG11_CONFIGS) == 12
+        assert "3BIG+2LTL" in wl.FIG11_CONFIGS
+
+
+class TestTableI:
+    def test_values_close_to_paper(self):
+        rows = {r.application: r for r in run_table_i()}
+        for app, (paper_ms, paper_tasks) in PAPER_TABLE_I.items():
+            row = rows[app]
+            assert row.task_count == paper_tasks, app
+            # within 2x of the paper's absolute numbers (calibrated model)
+            assert paper_ms / 2 <= row.execution_time_ms <= paper_ms * 2, app
+
+    def test_ordering_matches_paper(self):
+        rows = {r.application: r.execution_time_ms for r in run_table_i()}
+        assert (
+            rows["pulse_doppler"]
+            > rows["wifi_rx"]
+            > rows["range_detection"]
+            > rows["wifi_tx"]
+        )
+
+    def test_render(self):
+        text = render_table_i(run_table_i())
+        assert "pulse_doppler" in text and "770" in text
+
+
+class TestFig9Small:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig9(iterations=5)
+
+    def test_shape_criteria_hold(self, rows):
+        assert check_fig9_shape(rows) == []
+
+    def test_box_stats_populated(self, rows):
+        for row in rows:
+            b = row.execution_time
+            assert b.n == 5
+            assert b.minimum <= b.median <= b.maximum
+
+    def test_render(self, rows):
+        text = render_fig9(rows)
+        assert "Fig 9a" in text and "Fig 9b" in text
+        assert "2C+2F" in text
+
+
+class TestFig10Small:
+    @pytest.fixture(scope="class")
+    def points(self):
+        # the two lowest rates keep EFT's saturated run fast enough for CI
+        return run_fig10(rates=(1.71, 2.28))
+
+    def test_shape_criteria_hold(self, points):
+        assert check_fig10_shape(points) == []
+
+    def test_frfs_microsecond_overhead(self, points):
+        frfs = [p for p in points if p.policy == "frfs"]
+        assert all(1.0 < p.avg_sched_overhead_us < 6.0 for p in frfs)
+
+    def test_render(self, points):
+        text = render_fig10(points)
+        assert "frfs" in text and "eft" in text
+
+
+class TestFig11Small:
+    @pytest.fixture(scope="class")
+    def points(self):
+        configs = ("0BIG+3LTL", "3BIG+2LTL", "4BIG+1LTL", "4BIG+3LTL")
+        return run_fig11(configs=configs, rates=(4.0, 10.0))
+
+    def test_rate_monotonicity(self, points):
+        by_config = {}
+        for p in points:
+            by_config.setdefault(p.config, []).append(p)
+        for series in by_config.values():
+            series.sort(key=lambda p: p.rate)
+            assert series[-1].execution_time_s >= series[0].execution_time_s
+
+    def test_little_only_slowest(self, points):
+        at_rate = {p.config: p.execution_time_s for p in points if p.rate == 10.0}
+        assert at_rate["0BIG+3LTL"] == max(at_rate.values())
+
+    def test_render(self, points):
+        assert "3BIG+2LTL" in render_fig11(points)

@@ -1,0 +1,83 @@
+"""Tests for ASCII figure rendering and the artifact report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import ascii_chart, fig10_chart, fig11_chart
+from repro.experiments.case_study_2 import Fig10Point
+from repro.experiments.case_study_3 import Fig11Point
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"a": [(0, 1.0), (1, 2.0)], "b": [(0, 2.0), (1, 1.0)]},
+            title="T", width=20, height=6,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "o=a" in lines[-1] and "x=b" in lines[-1]
+        body = "\n".join(lines[1:-3])
+        assert "o" in body and "x" in body
+
+    def test_log_scale(self):
+        chart = ascii_chart(
+            {"s": [(1, 1.0), (2, 1000.0)]}, log_y=True, width=10, height=4
+        )
+        assert "1e" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 0.0)]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_constant_series_renders(self):
+        chart = ascii_chart({"flat": [(0, 5.0), (1, 5.0)]}, width=12, height=4)
+        assert "o" in chart
+
+    def test_fig10_chart_shape(self):
+        points = [
+            Fig10Point(rate=r, policy=p, execution_time_s=t,
+                       avg_sched_overhead_us=1.0, mean_ready_length=1.0)
+            for r, p, t in [
+                (1.0, "frfs", 0.1), (2.0, "frfs", 0.2),
+                (1.0, "eft", 10.0), (2.0, "eft", 40.0),
+            ]
+        ]
+        chart = fig10_chart(points)
+        assert "frfs" in chart and "eft" in chart
+
+    def test_fig11_chart_filters_configs(self):
+        points = [
+            Fig11Point(config=c, rate=r, execution_time_s=t,
+                       avg_sched_overhead_us=1.0)
+            for c, r, t in [
+                ("A", 4.0, 0.2), ("A", 8.0, 0.4),
+                ("B", 4.0, 0.3), ("B", 8.0, 0.5),
+            ]
+        ]
+        chart = fig11_chart(points, configs=("A",))
+        assert "A" in chart and "=B" not in chart
+
+
+class TestReportGenerator:
+    def test_table_artifacts(self, tmp_path, capsys):
+        from repro.experiments.report import main
+
+        rc = main(["--quick", "--outdir", str(tmp_path),
+                   "--only", "table_i", "table_ii"])
+        assert rc == 0
+        table_i = (tmp_path / "table_i.txt").read_text()
+        assert "770" in table_i
+        table_ii = (tmp_path / "table_ii.txt").read_text()
+        assert "6.92" in table_ii
+
+    def test_unknown_artifact_rejected(self, tmp_path):
+        from repro.experiments.report import main
+
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99", "--outdir", str(tmp_path)])

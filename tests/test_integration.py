@@ -1,0 +1,135 @@
+"""Cross-module integration tests and virtual-backend invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.backends import ThreadedBackend, VirtualBackend
+from repro.runtime.emulation import Emulation
+from repro.runtime.workload import validation_workload, workload_for_counts
+
+
+def run_virtual(config="3C+2F", policy="frfs", counts=None, seed=0,
+                jitter=False):
+    emu = Emulation(
+        config=config, policy=policy, materialize_memory=False,
+        jitter=jitter, seed=seed,
+    )
+    return emu.run(
+        validation_workload(counts or {"range_detection": 2, "wifi_tx": 2}),
+        VirtualBackend(),
+    )
+
+
+class TestVirtualInvariants:
+    def test_every_task_executes_exactly_once(self):
+        result = run_virtual(counts={"range_detection": 3, "wifi_rx": 2})
+        expected = 3 * 6 + 2 * 9
+        assert result.stats.task_count == expected
+        ids = [r.task_id for r in result.stats.task_records]
+        assert len(set(ids)) == len(ids)
+
+    def test_pe_never_overlaps_tasks(self):
+        """No PE runs two tasks at once (start/finish intervals disjoint)."""
+        result = run_virtual(counts={"pulse_doppler": 1}, config="2C+1F")
+        by_pe: dict[str, list] = {}
+        for rec in result.stats.task_records:
+            by_pe.setdefault(rec.pe_name, []).append(rec)
+        for records in by_pe.values():
+            records.sort(key=lambda r: r.start_time)
+            for a, b in zip(records, records[1:]):
+                assert a.finish_time <= b.start_time + 1e-9
+
+    def test_dependencies_respected_in_time(self):
+        """A task never starts before all its predecessors finished."""
+        result = run_virtual(counts={"range_detection": 2})
+        finish = {
+            (r.instance_id, r.task_name): r.finish_time
+            for r in result.stats.task_records
+        }
+        emu_apps = Emulation().applications["range_detection"]
+        for rec in result.stats.task_records:
+            node = emu_apps.nodes[rec.task_name]
+            for pred in node.predecessors:
+                assert finish[(rec.instance_id, pred)] <= rec.start_time + 1e-9
+
+    def test_busy_time_bounded_by_span(self):
+        result = run_virtual(counts={"wifi_rx": 3})
+        span = result.stats.makespan
+        for usage in result.stats.pe_usage.values():
+            assert usage.busy_time <= span + 1e-6
+
+    def test_same_seed_same_task_placement(self):
+        def placements(seed):
+            result = run_virtual(seed=seed, jitter=True)
+            return [(r.task_id, r.pe_name, r.start_time)
+                    for r in result.stats.task_records]
+
+        assert placements(3) == placements(3)
+        assert placements(3) != placements(4)
+
+    @given(st.sampled_from(["frfs", "met", "eft", "heft", "frfs_reserve"]))
+    @settings(max_examples=5, deadline=None)
+    def test_all_policies_complete_mixed_workload_property(self, policy):
+        result = run_virtual(policy=policy,
+                             counts={"range_detection": 2, "wifi_rx": 1,
+                                     "wifi_tx": 2})
+        result.stats.assert_all_complete()
+
+
+class TestCrossBackendConsistency:
+    def test_task_counts_agree(self):
+        counts = {"range_detection": 1, "wifi_tx": 1}
+        virtual = run_virtual(counts=counts)
+        emu = Emulation(config="3C+2F", policy="frfs")
+        threaded = emu.run(validation_workload(counts), ThreadedBackend())
+        assert virtual.stats.task_count == threaded.stats.task_count
+        assert (
+            virtual.stats.apps_completed == threaded.stats.apps_completed
+        )
+
+    def test_both_backends_respect_dependencies(self):
+        emu = Emulation(config="2C+0F", policy="frfs")
+        result = emu.run(
+            validation_workload({"wifi_tx": 1}), ThreadedBackend()
+        )
+        records = {r.task_name: r for r in result.stats.task_records}
+        chain = ["SCRAMBLER", "ENCODER", "INTERLEAVER", "QPSK_MOD",
+                 "PILOT_INSERT", "IFFT", "CRC"]
+        for a, b in zip(chain, chain[1:]):
+            assert records[a].finish_time <= records[b].start_time + 1e-6
+
+    def test_more_pes_never_slower_in_virtual(self):
+        """Monotonicity across all-CPU configs for a parallel workload."""
+        counts = {"range_detection": 4, "wifi_tx": 4}
+        t1 = run_virtual(config="1C+0F", counts=counts).makespan_us
+        t2 = run_virtual(config="2C+0F", counts=counts).makespan_us
+        t3 = run_virtual(config="3C+0F", counts=counts).makespan_us
+        assert t3 <= t2 <= t1
+
+
+class TestPerformanceModeIntegration:
+    def test_injection_times_honored(self):
+        emu = Emulation(config="3C+2F", policy="frfs",
+                        materialize_memory=False, jitter=False)
+        wl = workload_for_counts({"range_detection": 10}, time_frame=5000.0)
+        result = emu.run(wl, VirtualBackend())
+        # Arrivals every 500us: the k-th instance cannot finish before its
+        # arrival instant.
+        finishes = sorted(
+            instance.finish_time for instance in result.instances
+        )
+        arrivals = sorted(i.arrival_time for i in wl.items)
+        for arr, fin in zip(arrivals, finishes):
+            assert fin >= arr
+
+    def test_light_load_tracks_window(self):
+        emu = Emulation(config="3C+2F", policy="frfs",
+                        materialize_memory=False, jitter=False)
+        wl = workload_for_counts({"wifi_tx": 20}, time_frame=100_000.0)
+        result = emu.run(wl, VirtualBackend())
+        # ~0.1ms of work injected over 100ms: makespan ≈ the window
+        assert result.makespan_us == pytest.approx(100_000.0, rel=0.06)

@@ -1,0 +1,233 @@
+"""Tests for the discrete-event engine and process coroutines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import EmulationError
+from repro.sim import AllOf, AnyOf, Engine, Event, Interrupt, Timeout
+
+
+class TestEventBasics:
+    def test_timeout_fires_at_delay(self):
+        engine = Engine()
+        seen = []
+        t = engine.timeout(10.0, value="x")
+        t.callbacks.append(lambda ev: seen.append((engine.now, ev.value)))
+        engine.run()
+        assert seen == [(10.0, "x")]
+
+    def test_negative_timeout_rejected(self):
+        engine = Engine()
+        with pytest.raises(EmulationError):
+            engine.timeout(-1.0)
+
+    def test_succeed_fires_at_current_time(self):
+        engine = Engine()
+        ev = engine.event()
+        ev.succeed(123)
+        fired = []
+        ev.callbacks.append(lambda e: fired.append((engine.now, e.value)))
+        engine.run()
+        assert fired == [(0.0, 123)]
+
+    def test_double_succeed_rejected(self):
+        engine = Engine()
+        ev = engine.event()
+        ev.succeed()
+        with pytest.raises(EmulationError):
+            ev.succeed()
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.timeout(5.0)
+        engine.run()
+        assert engine.now == 5.0
+        with pytest.raises(EmulationError):
+            engine.schedule_at(1.0)
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        engine = Engine()
+        order = []
+        for tag in "abc":
+            ev = engine.schedule_at(4.0)
+            ev.callbacks.append(lambda e, t=tag: order.append(t))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_call_in_and_call_at(self):
+        engine = Engine()
+        order = []
+        engine.call_in(5.0, lambda: order.append(("in", engine.now)))
+        engine.call_at(2.0, lambda: order.append(("at", engine.now)))
+        engine.run()
+        assert order == [("at", 2.0), ("in", 5.0)]
+
+    def test_run_until_stops_clock(self):
+        engine = Engine()
+        engine.timeout(100.0)
+        final = engine.run(until=30.0)
+        assert final == 30.0
+        assert engine.peek() == 100.0
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def ticker():
+            while True:
+                yield engine.timeout(1.0)
+
+        engine.process(ticker())
+        with pytest.raises(EmulationError, match="max_events"):
+            engine.run(max_events=50)
+
+
+class TestComposites:
+    def test_allof_waits_for_all(self):
+        engine = Engine()
+        e1 = engine.timeout(5.0, value=1)
+        e2 = engine.timeout(9.0, value=2)
+        fired = []
+        AllOf(engine, [e1, e2]).callbacks.append(
+            lambda ev: fired.append((engine.now, ev.value))
+        )
+        engine.run()
+        assert fired == [(9.0, [1, 2])]
+
+    def test_allof_empty_fires_immediately(self):
+        engine = Engine()
+        fired = []
+        AllOf(engine, []).callbacks.append(lambda ev: fired.append(engine.now))
+        engine.run()
+        assert fired == [0.0]
+
+    def test_anyof_fires_on_first(self):
+        engine = Engine()
+        e1 = engine.timeout(5.0, value="fast")
+        e2 = engine.timeout(9.0, value="slow")
+        fired = []
+        AnyOf(engine, [e1, e2]).callbacks.append(
+            lambda ev: fired.append((engine.now, ev.value[1]))
+        )
+        engine.run()
+        assert fired == [(5.0, "fast")]
+
+
+class TestProcesses:
+    def test_process_advances_through_timeouts(self):
+        engine = Engine()
+        log = []
+
+        def proc():
+            log.append(("start", engine.now))
+            yield engine.timeout(3.0)
+            log.append(("mid", engine.now))
+            yield engine.timeout(4.0)
+            log.append(("end", engine.now))
+            return "done"
+
+        p = engine.process(proc())
+        engine.run()
+        assert log == [("start", 0.0), ("mid", 3.0), ("end", 7.0)]
+        assert p.processed and p.value == "done"
+
+    def test_process_receives_event_value(self):
+        engine = Engine()
+        got = []
+
+        def proc():
+            value = yield engine.timeout(1.0, value=42)
+            got.append(value)
+
+        engine.process(proc())
+        engine.run()
+        assert got == [42]
+
+    def test_process_waits_on_another_process(self):
+        engine = Engine()
+        order = []
+
+        def worker():
+            yield engine.timeout(5.0)
+            order.append("worker")
+            return "result"
+
+        def boss(w):
+            value = yield w
+            order.append(f"boss:{value}")
+
+        w = engine.process(worker())
+        engine.process(boss(w))
+        engine.run()
+        assert order == ["worker", "boss:result"]
+
+    def test_process_yielding_non_event_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield 42
+
+        engine.process(bad())
+        with pytest.raises(EmulationError, match="must yield Event"):
+            engine.run()
+
+    def test_interrupt_is_delivered(self):
+        engine = Engine()
+        caught = []
+
+        def sleeper():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt as exc:
+                caught.append((engine.now, exc.cause))
+
+        p = engine.process(sleeper())
+
+        def interrupter():
+            yield engine.timeout(10.0)
+            p.interrupt("wake up")
+
+        engine.process(interrupter())
+        engine.run()
+        assert caught == [(10.0, "wake up")]
+
+    def test_interrupting_finished_process_rejected(self):
+        engine = Engine()
+
+        def quick():
+            yield engine.timeout(1.0)
+
+        p = engine.process(quick())
+        engine.run()
+        with pytest.raises(EmulationError):
+            p.interrupt()
+
+    def test_failed_event_raises_in_process(self):
+        engine = Engine()
+        caught = []
+
+        def proc(ev):
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        ev = engine.event()
+        engine.process(proc(ev))
+        engine.call_in(2.0, lambda: ev.fail(ValueError("nope")))
+        engine.run()
+        assert caught == ["nope"]
+
+    def test_waiting_on_already_fired_event(self):
+        engine = Engine()
+        ev = engine.timeout(1.0, value="v")
+        got = []
+
+        def late():
+            yield engine.timeout(5.0)
+            value = yield ev  # fired long ago
+            got.append((engine.now, value))
+
+        engine.process(late())
+        engine.run()
+        assert got == [(5.0, "v")]

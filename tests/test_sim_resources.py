@@ -1,0 +1,178 @@
+"""Tests for FifoResource, HostCore (time slicing / preemption), Mailbox."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import EmulationError
+from repro.sim import Engine, FifoResource, HostCore, Mailbox
+
+
+class TestFifoResource:
+    def test_grants_up_to_capacity(self):
+        engine = Engine()
+        res = FifoResource(engine, capacity=2)
+        a, b, c = res.request(), res.request(), res.request()
+        engine.run()
+        assert a.processed and b.processed and not c.processed
+        assert res.queue_length == 1
+
+    def test_release_hands_to_waiter(self):
+        engine = Engine()
+        res = FifoResource(engine, 1)
+        res.request()
+        waiter = res.request()
+        res.release()
+        engine.run()
+        assert waiter.processed
+
+    def test_release_without_request_rejected(self):
+        engine = Engine()
+        res = FifoResource(engine, 1)
+        with pytest.raises(EmulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(EmulationError):
+            FifoResource(Engine(), 0)
+
+    def test_fifo_grant_order(self):
+        engine = Engine()
+        res = FifoResource(engine, 1)
+        res.request()
+        order = []
+        for tag in "abc":
+            ev = res.request()
+            ev.callbacks.append(lambda _e, t=tag: order.append(t))
+        for _ in range(3):
+            res.release()
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestHostCore:
+    def run_consumers(self, core, engine, jobs):
+        """jobs: list of (owner, start_delay, duration); returns finish times."""
+        finishes = {}
+
+        def consumer(owner, delay, duration):
+            yield engine.timeout(delay)
+            yield from core.consume(owner, duration)
+            finishes[owner] = engine.now
+
+        for owner, delay, duration in jobs:
+            engine.process(consumer(owner, delay, duration))
+        engine.run()
+        return finishes
+
+    def test_sole_owner_runs_uninterrupted(self):
+        engine = Engine()
+        core = HostCore(engine, "c0", quantum=10.0, switch_cost=5.0)
+        finishes = self.run_consumers(core, engine, [("a", 0.0, 100.0)])
+        assert finishes["a"] == pytest.approx(100.0)
+        assert core.switch_count == 0
+
+    def test_speed_scales_duration(self):
+        engine = Engine()
+        core = HostCore(engine, "little", speed=0.5)
+        finishes = self.run_consumers(core, engine, [("a", 0.0, 50.0)])
+        assert finishes["a"] == pytest.approx(100.0)
+
+    def test_two_owners_time_slice_with_switch_cost(self):
+        engine = Engine()
+        core = HostCore(engine, "c0", quantum=10.0, switch_cost=2.0)
+        finishes = self.run_consumers(
+            core, engine, [("a", 0.0, 30.0), ("b", 0.0, 30.0)]
+        )
+        # Both must take noticeably longer than their solo time, and the
+        # core must have context-switched repeatedly.
+        assert min(finishes.values()) > 40.0
+        assert core.switch_count >= 4
+        total_work = 60.0 + core.switch_count * 2.0
+        assert core.busy_time == pytest.approx(total_work)
+
+    def test_contention_counts_holders_and_waiters(self):
+        engine = Engine()
+        core = HostCore(engine, "c0", quantum=5.0)
+
+        def hog():
+            yield from core.consume("hog", 50.0)
+
+        def peeker(out):
+            yield engine.timeout(1.0)
+            out.append(core.contention)
+            yield from core.consume("peek", 1.0)
+
+        out = []
+        engine.process(hog())
+        engine.process(peeker(out))
+        engine.run()
+        assert out == [1]
+
+    def test_invalid_parameters_rejected(self):
+        engine = Engine()
+        with pytest.raises(EmulationError):
+            HostCore(engine, "x", quantum=0.0)
+        with pytest.raises(EmulationError):
+            HostCore(engine, "x", switch_cost=-1.0)
+        with pytest.raises(EmulationError):
+            HostCore(engine, "x", speed=0.0)
+
+    def test_sequential_same_owner_no_switch_cost(self):
+        engine = Engine()
+        core = HostCore(engine, "c0", quantum=10.0, switch_cost=3.0)
+
+        def twice():
+            yield from core.consume("a", 20.0)
+            yield from core.consume("a", 20.0)
+
+        engine.process(twice())
+        engine.run()
+        assert engine.now == pytest.approx(40.0)
+        assert core.switch_count == 0
+
+
+class TestMailbox:
+    def test_put_then_get(self):
+        engine = Engine()
+        box = Mailbox(engine)
+        box.put("x")
+        ev = box.get()
+        engine.run()
+        assert ev.processed and ev.value == "x"
+
+    def test_get_then_put_wakes_getter(self):
+        engine = Engine()
+        box = Mailbox(engine)
+        got = []
+
+        def getter():
+            value = yield box.get()
+            got.append((engine.now, value))
+
+        engine.process(getter())
+        engine.call_in(7.0, lambda: box.put("late"))
+        engine.run()
+        assert got == [(7.0, "late")]
+
+    def test_fifo_ordering(self):
+        engine = Engine()
+        box = Mailbox(engine)
+        for i in range(3):
+            box.put(i)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                got.append((yield box.get()))
+
+        engine.process(getter())
+        engine.run()
+        assert got == [0, 1, 2]
+
+    def test_len_counts_buffered(self):
+        engine = Engine()
+        box = Mailbox(engine)
+        box.put(1)
+        box.put(2)
+        assert len(box) == 2

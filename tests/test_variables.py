@@ -1,0 +1,220 @@
+"""Tests for byte-level variables, the memory pool, and bindings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.appmodel.variables import (
+    MemoryPool,
+    VariableBinding,
+    VariableSpec,
+    VariableTable,
+    buffer_spec,
+    scalar_spec,
+)
+from repro.common.errors import ApplicationSpecError, MemoryError_
+
+
+class TestVariableSpec:
+    def test_listing1_n_samples_encoding(self):
+        # the paper's example: 32-bit int 256 -> [0, 1, 0, 0]
+        spec = scalar_spec("n_samples", 256)
+        assert spec.bytes == 4
+        assert spec.val == (0, 1, 0, 0)
+        assert not spec.is_ptr
+
+    def test_listing1_pointer_encoding(self):
+        # lfm_waveform: 8-byte pointer, 2048-byte allocation
+        spec = buffer_spec("lfm_waveform", 2048)
+        assert spec.bytes == 8
+        assert spec.is_ptr
+        assert spec.ptr_alloc_bytes == 2048
+        assert spec.storage_bytes == 2056
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ApplicationSpecError):
+            VariableSpec(name="", bytes=4)
+
+    def test_nonpositive_bytes_rejected(self):
+        with pytest.raises(ApplicationSpecError):
+            VariableSpec(name="x", bytes=0)
+
+    def test_pointer_must_be_8_bytes(self):
+        with pytest.raises(ApplicationSpecError, match="8 bytes"):
+            VariableSpec(name="p", bytes=4, is_ptr=True, ptr_alloc_bytes=16)
+
+    def test_pointer_needs_allocation(self):
+        with pytest.raises(ApplicationSpecError):
+            VariableSpec(name="p", bytes=8, is_ptr=True, ptr_alloc_bytes=0)
+
+    def test_alloc_on_non_pointer_rejected(self):
+        with pytest.raises(ApplicationSpecError):
+            VariableSpec(name="x", bytes=4, ptr_alloc_bytes=16)
+
+    def test_initializer_overflow_rejected(self):
+        with pytest.raises(ApplicationSpecError, match="exceed"):
+            VariableSpec(name="x", bytes=2, val=(1, 2, 3))
+
+    def test_initializer_byte_range_checked(self):
+        with pytest.raises(ApplicationSpecError):
+            VariableSpec(name="x", bytes=4, val=(256,))
+
+    def test_buffer_spec_initializer_from_array(self):
+        data = np.arange(4, dtype=np.float32)
+        spec = buffer_spec("buf", 16, init=data)
+        assert bytes(spec.val) == data.tobytes()
+
+    def test_buffer_spec_oversized_init_rejected(self):
+        with pytest.raises(ApplicationSpecError):
+            buffer_spec("buf", 4, init=np.arange(4, dtype=np.float32))
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_scalar_spec_roundtrips_any_i32(self, value):
+        spec = scalar_spec("x", value)
+        decoded = int.from_bytes(bytes(spec.val), "little", signed=True)
+        assert decoded == value
+
+
+class TestMemoryPool:
+    def test_allocations_are_aligned(self):
+        pool = MemoryPool(256)
+        a = pool.allocate(3)
+        b = pool.allocate(8)
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 3
+
+    def test_exhaustion_raises(self):
+        pool = MemoryPool(16)
+        pool.allocate(8)
+        with pytest.raises(MemoryError_, match="exhausted"):
+            pool.allocate(16)
+
+    def test_view_bounds_checked(self):
+        pool = MemoryPool(64)
+        base = pool.allocate(8)
+        with pytest.raises(MemoryError_):
+            pool.view(base, 9)
+        with pytest.raises(MemoryError_):
+            pool.view(base + 1)
+
+    def test_write_overrun_rejected(self):
+        pool = MemoryPool(64)
+        base = pool.allocate(4)
+        with pytest.raises(MemoryError_):
+            pool.write(base, b"12345")
+
+    def test_view_aliases_storage(self):
+        pool = MemoryPool(64)
+        base = pool.allocate(4)
+        pool.view(base)[:] = [1, 2, 3, 4]
+        assert pool.view(base).tolist() == [1, 2, 3, 4]
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(MemoryError_):
+            MemoryPool(0)
+        with pytest.raises(MemoryError_):
+            MemoryPool(64).allocate(0)
+
+
+class TestVariableBinding:
+    def test_scalar_roundtrip(self):
+        pool = MemoryPool(64)
+        binding = VariableBinding(scalar_spec("n", 256), pool)
+        assert binding.as_int() == 256
+        binding.set_int(-7)
+        assert binding.as_int() == -7
+
+    def test_pointer_slot_holds_heap_offset(self):
+        pool = MemoryPool(128)
+        binding = VariableBinding(buffer_spec("buf", 32), pool)
+        stored = int.from_bytes(
+            pool.view(binding.slot_base, 8).tobytes(), "little"
+        )
+        assert stored == binding.heap_base
+
+    def test_typed_view_roundtrip(self):
+        pool = MemoryPool(128)
+        binding = VariableBinding(buffer_spec("buf", 32), pool)
+        arr = binding.as_array(np.complex64)
+        assert arr.size == 4
+        arr[:] = [1 + 2j, 0, 0, 3j]
+        again = binding.as_array(np.complex64)
+        assert again[0] == np.complex64(1 + 2j)
+
+    def test_initializer_lands_in_heap(self):
+        data = np.array([1.5, -2.5], dtype=np.float32)
+        pool = MemoryPool(128)
+        binding = VariableBinding(buffer_spec("buf", 8, init=data), pool)
+        assert np.array_equal(binding.as_array(np.float32), data)
+
+    def test_view_count_bounds_checked(self):
+        pool = MemoryPool(128)
+        binding = VariableBinding(buffer_spec("buf", 16), pool)
+        with pytest.raises(MemoryError_):
+            binding.as_array(np.float64, count=3)
+
+    def test_scalar_accessors_reject_pointers(self):
+        pool = MemoryPool(128)
+        binding = VariableBinding(buffer_spec("buf", 16), pool)
+        with pytest.raises(MemoryError_):
+            binding.as_int()
+        scalar = VariableBinding(scalar_spec("n", 1), pool)
+        with pytest.raises(MemoryError_):
+            scalar.as_array(np.uint8)
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_set_get_int_roundtrip(self, value):
+        pool = MemoryPool(64)
+        binding = VariableBinding(scalar_spec("x", 0), pool)
+        binding.set_int(value)
+        assert binding.as_int() == value
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, width=32),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_float_array_roundtrip_through_bytes(self, values):
+        data = np.asarray(values, dtype=np.float32)
+        pool = MemoryPool(1024)
+        binding = VariableBinding(
+            buffer_spec("buf", data.nbytes, init=data), pool
+        )
+        assert np.array_equal(binding.as_array(np.float32), data)
+
+
+class TestVariableTable:
+    def test_table_builds_all_bindings(self):
+        specs = {
+            "n": scalar_spec("n", 4),
+            "buf": buffer_spec("buf", 64),
+        }
+        pool = MemoryPool(VariableTable.required_pool_bytes(specs))
+        table = VariableTable(specs, pool)
+        assert len(table) == 2
+        assert "n" in table and "buf" in table
+        assert table["n"].as_int() == 4
+
+    def test_unknown_variable_raises(self):
+        pool = MemoryPool(64)
+        table = VariableTable({"n": scalar_spec("n", 1)}, pool)
+        with pytest.raises(ApplicationSpecError, match="unknown variable"):
+            table["missing"]
+
+    def test_required_pool_bytes_is_sufficient(self):
+        specs = {
+            f"v{i}": buffer_spec(f"v{i}", 24 + i) for i in range(10)
+        }
+        specs["n"] = scalar_spec("n", 1)
+        capacity = VariableTable.required_pool_bytes(specs)
+        VariableTable(specs, MemoryPool(capacity))  # must not raise
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_required_pool_bytes_property(self, count):
+        specs = {f"b{i}": buffer_spec(f"b{i}", 8 * (i + 1)) for i in range(count)}
+        VariableTable(specs, MemoryPool(VariableTable.required_pool_bytes(specs)))

@@ -1,0 +1,156 @@
+"""Tests for the WM core state machine and the ReadyList container."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.appmodel.instance import ApplicationInstance, TaskState
+from repro.common.errors import EmulationError
+from repro.runtime.schedulers import FRFSScheduler
+from repro.runtime.stats import EmulationStats
+from repro.runtime.workload_manager import ReadyList, WorkloadManagerCore
+from tests.conftest import make_diamond_graph, make_handlers
+
+
+def make_core(zcu, config="2C+0F", arrivals=(0.0,)):
+    handlers = make_handlers(zcu, config)
+    instances = [
+        ApplicationInstance(make_diamond_graph(), i, t, materialize=False)
+        for i, t in enumerate(arrivals)
+    ]
+    stats = EmulationStats()
+    for h in handlers:
+        stats.register_pe(h.pe)
+    core = WorkloadManagerCore(instances, handlers, FRFSScheduler(), stats)
+    return core, handlers, stats
+
+
+class TestReadyList:
+    def test_extend_iter_len(self):
+        rl = ReadyList()
+        rl.extend([1, 2, 3])
+        assert list(rl) == [1, 2, 3]
+        assert len(rl) == 3 and bool(rl)
+
+    def test_remove_hides_items(self):
+        rl = ReadyList()
+        items = ["a", "b", "c"]
+        rl.extend(items)
+        rl.remove_ids({id(items[1])})
+        assert list(rl) == ["a", "c"]
+        assert len(rl) == 2
+        assert items[1] not in rl and items[0] in rl
+
+    def test_compaction_preserves_order(self):
+        rl = ReadyList()
+        items = list(range(300))
+        rl.extend(items)
+        # remove most entries to force compaction
+        rl.remove_ids({id(items[i]) for i in range(250)})
+        assert list(rl) == items[250:]
+        assert len(rl) == 50
+
+    def test_empty_falsey(self):
+        assert not ReadyList()
+
+    @given(st.lists(st.integers(), min_size=0, max_size=60), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_model_equivalence_property(self, values, data):
+        """ReadyList behaves like a plain list under random removals."""
+        boxed = [[v] for v in values]  # unique identities
+        rl = ReadyList()
+        rl.extend(boxed)
+        model = list(boxed)
+        n_rounds = data.draw(st.integers(min_value=0, max_value=5))
+        for _ in range(n_rounds):
+            if not model:
+                break
+            k = data.draw(st.integers(min_value=0, max_value=len(model)))
+            victims = data.draw(
+                st.lists(
+                    st.sampled_from(model) if model else st.nothing(),
+                    max_size=k, unique_by=id,
+                )
+            )
+            rl.remove_ids({id(v) for v in victims})
+            victim_ids = {id(v) for v in victims}
+            model = [v for v in model if id(v) not in victim_ids]
+            assert list(rl) == model
+            assert len(rl) == len(model)
+
+
+class TestWorkloadManagerCore:
+    def test_injection_moves_heads_to_ready(self, zcu):
+        core, _handlers, stats = make_core(zcu, arrivals=(0.0, 50.0))
+        assert core.inject_due(0.0) == 1
+        assert [t.name for t in core.ready] == ["A"]
+        assert core.next_arrival() == 50.0
+        assert core.inject_due(10.0) == 0
+        assert core.inject_due(60.0) == 1
+        assert stats.apps_injected == 2
+
+    def test_policy_and_commit_dispatch(self, zcu):
+        core, handlers, _stats = make_core(zcu)
+        core.inject_due(0.0)
+        assignments = core.run_policy(0.0)
+        assert len(assignments) == 1
+        core.commit(assignments, 1.0)
+        task = assignments[0].task
+        assert task.state is TaskState.DISPATCHED
+        assert task.dispatch_time == 1.0
+        assert len(core.ready) == 0
+        assert task.chosen_platform.name == "cpu"
+
+    def test_completion_unlocks_successors(self, zcu):
+        core, handlers, stats = make_core(zcu)
+        core.inject_due(0.0)
+        assignments = core.run_policy(0.0)
+        core.commit(assignments, 0.0)
+        handler, task = assignments[0].handler, assignments[0].task
+        handler.assign(task)
+        task.mark_running(1.0)
+        task.mark_complete(2.0)
+        handler.finish_task()
+        core.process_completions([(handler, task)], 3.0)
+        assert sorted(t.name for t in core.ready) == ["B", "C"]
+        assert stats.task_count == 1
+        assert handlers[0].is_idle()
+
+    def test_full_drive_to_completion(self, zcu):
+        core, handlers, stats = make_core(zcu, config="2C+0F")
+        now = 0.0
+        core.inject_due(now)
+        guard = 0
+        while not core.all_complete():
+            guard += 1
+            assert guard < 50
+            assignments = core.run_policy(now)
+            core.commit(assignments, now)
+            completions = []
+            for a in assignments:
+                a.handler.assign(a.task)
+                a.task.mark_running(now)
+                now += 1.0
+                a.task.mark_complete(now)
+                a.handler.finish_task()
+                completions.append((a.handler, a.task))
+            core.process_completions(completions, now)
+        assert stats.apps_completed == 1
+        assert stats.task_count == 4
+
+    def test_liveness_check_detects_unsupported_tasks(self, zcu):
+        # config with only FFT PEs cannot run the CPU-only A task
+        core, _h, _s = make_core(zcu, config="0C+1F")
+        core.inject_due(0.0)
+        with pytest.raises(EmulationError, match="no supporting PE"):
+            core.check_liveness(0.0)
+
+    def test_liveness_ok_while_arrivals_pending(self, zcu):
+        core, _h, _s = make_core(zcu, arrivals=(100.0,))
+        core.check_liveness(0.0)  # must not raise
+
+    def test_tasks_outstanding_accounting(self, zcu):
+        core, _h, _s = make_core(zcu, arrivals=(0.0, 0.0))
+        assert core.tasks_outstanding == 8
