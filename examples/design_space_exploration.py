@@ -7,9 +7,13 @@ pool) against the SDR validation workload, then rank them by execution
 time and by an area-efficiency proxy — the paper's conclusion that
 2C+1F is the area-efficient pick while 3C+0F is fastest.
 
+The sweep runs through the `repro.dse` campaign engine (`run_fig9` is a
+campaign under the hood), so passing an output directory makes it cached
+and resumable, and a jobs count parallelizes it.
+
 Usage::
 
-    python examples/design_space_exploration.py [iterations]
+    python examples/design_space_exploration.py [iterations] [jobs] [out_dir]
 """
 
 from __future__ import annotations
@@ -18,7 +22,6 @@ import sys
 
 from repro.analysis.tables import format_table
 from repro.experiments.case_study_1 import run_fig9
-from repro.experiments.workloads import FIG9_CONFIGS
 
 # crude area proxy (mm^2-ish): an A53 core vs. a fabric FFT block
 AREA_UNITS = {"C": 4.0, "F": 1.5}
@@ -34,7 +37,9 @@ def config_area(config: str) -> float:
 
 def main() -> None:
     iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 15
-    rows = run_fig9(iterations=iterations)
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    out_dir = sys.argv[3] if len(sys.argv) > 3 else None
+    rows = run_fig9(iterations=iterations, jobs=jobs, out_dir=out_dir)
 
     table = []
     for row in rows:

@@ -64,6 +64,13 @@ from repro.runtime import (
     register_policy,
     validation_workload,
 )
+from repro.dse import (
+    SweepCell,
+    SweepGrid,
+    rate_sweep,
+    run_campaign,
+    validation_sweep,
+)
 from repro.runtime.backends import ThreadedBackend, VirtualBackend
 from repro.runtime.workload import WorkloadSpec, workload_for_counts
 from repro.toolchain import convert
@@ -115,6 +122,12 @@ __all__ = [
     "WorkloadSpec",
     "VirtualBackend",
     "ThreadedBackend",
+    # design-space exploration
+    "SweepCell",
+    "SweepGrid",
+    "run_campaign",
+    "validation_sweep",
+    "rate_sweep",
     # toolchain
     "convert",
     "__version__",

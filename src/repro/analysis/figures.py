@@ -103,6 +103,41 @@ def fig10_chart(points) -> str:
     )
 
 
+def pareto_chart(
+    rows: Sequence[Mapping],
+    *,
+    x_key: str = "makespan_ms",
+    y_key: str = "total_energy_j",
+    title: str = "Campaign Pareto plane",
+) -> str:
+    """Campaign cells on the (x, y) minimization plane.
+
+    Frontier members (computed via :func:`repro.dse.frontier.frontier_rows`
+    when rows lack a ``pareto`` flag) are drawn with the first marker,
+    dominated designs with the second.
+    """
+    rows = list(rows)
+    if rows and "pareto" not in rows[0]:
+        from repro.dse.frontier import frontier_rows
+
+        rows = frontier_rows(rows, x=x_key, y=y_key)
+    series: dict[str, list[tuple[float, float]]] = {
+        "frontier": [], "dominated": [],
+    }
+    for row in rows:
+        x, y = row.get(x_key), row.get(y_key)
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            continue
+        series["frontier" if row.get("pareto") else "dominated"].append(
+            (float(x), float(y))
+        )
+    if not series["dominated"]:
+        del series["dominated"]
+    return ascii_chart(
+        series, title=f"{title} ({x_key} vs {y_key})"
+    )
+
+
 def fig11_chart(points, configs: Sequence[str] | None = None) -> str:
     """Fig. 11 as an ASCII chart (execution time vs rate per config)."""
     series: dict[str, list[tuple[float, float]]] = {}

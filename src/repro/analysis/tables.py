@@ -44,6 +44,46 @@ def render_rows(rows: Sequence[dict], columns: Sequence[str], title: str = "") -
     return format_table(columns, body, title=title)
 
 
+#: Default column order for DSE campaign rows (``CampaignResult.rows()``).
+CAMPAIGN_COLUMNS = (
+    "label", "status", "makespan_ms", "total_energy_j",
+    "avg_sched_overhead_us", "tasks", "cached",
+)
+
+
+def campaign_table(
+    rows: Sequence[dict],
+    *,
+    columns: Sequence[str] = CAMPAIGN_COLUMNS,
+    sort_by: str | None = None,
+    title: str = "Campaign results",
+) -> str:
+    """Comparison table over a DSE campaign's flattened cell rows.
+
+    ``sort_by`` orders by any numeric column (missing values sink to the
+    bottom); the default preserves grid order.
+    """
+    rows = list(rows)
+    if sort_by is not None:
+        def key(row: dict):
+            value = row.get(sort_by)
+            missing = not isinstance(value, (int, float))
+            return (missing, value if not missing else 0.0)
+
+        rows.sort(key=key)
+    body = [[_cell(row, col) for col in columns] for row in rows]
+    return format_table(list(columns), body, title=title)
+
+
+def _cell(row: dict, col: str) -> object:
+    value = row.get(col, "")
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else ""
+    return value
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:

@@ -62,10 +62,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = emu.run(
         validation_workload(_parse_apps(args.apps)), _backend(args.backend)
     )
-    print(json.dumps(result.stats.summary(), indent=2))
-    if args.backend == "threaded":
-        print("outputs correct:", result.verify_outputs())
-    if args.gantt:
+    if args.json:
+        from repro.analysis.trace_export import records_as_dicts
+
+        doc = {
+            "summary": result.stats.summary(),
+            "tasks": records_as_dicts(result.stats),
+        }
+        if args.backend == "threaded":
+            doc["outputs_correct"] = result.verify_outputs()
+        print(json.dumps(doc, indent=2))
+    else:
+        print(json.dumps(result.stats.summary(), indent=2))
+        if args.backend == "threaded":
+            print("outputs correct:", result.verify_outputs())
+    if args.gantt and not args.json:
         from repro.analysis.trace_export import gantt_ascii
 
         print()
@@ -77,8 +88,99 @@ def cmd_run(args: argparse.Namespace) -> int:
             write_json(result.stats, args.trace)
         else:
             write_csv(result.stats, args.trace)
-        print(f"trace written to {args.trace}")
+        # keep stdout machine-readable under --json
+        print(f"trace written to {args.trace}",
+              file=sys.stderr if args.json else sys.stdout)
     return 0
+
+
+def _parse_list(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _sweep_grid(args: argparse.Namespace):
+    """Build the SweepGrid from a spec file or from flags (flags win)."""
+    from repro.dse import SweepGrid, rate_sweep, validation_sweep
+
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as fh:
+            grid = SweepGrid.from_dict(json.load(fh))
+        return grid
+    workloads: list[dict] = []
+    if args.rates:
+        workloads.extend(rate_sweep(float(r)) for r in _parse_list(args.rates))
+    if args.apps or not workloads:
+        workloads.append(validation_sweep(_parse_apps(args.apps or
+                                                      "range_detection=1")))
+    seeds: tuple[int | None, ...] = (
+        tuple(int(s) for s in _parse_list(args.seeds)) if args.seeds else (None,)
+    )
+    return SweepGrid(
+        platforms=tuple(_parse_list(args.platforms)),
+        configs=tuple(_parse_list(args.configs)),
+        policies=tuple(_parse_list(args.policies)),
+        workloads=tuple(workloads),
+        seeds=seeds,
+        iterations=args.iterations,
+        jitter=args.jitter,
+        backend=args.backend,
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a DSE campaign: expand the grid, execute cells in parallel."""
+    from repro.analysis.figures import pareto_chart
+    from repro.dse import run_campaign
+    from repro.dse.frontier import render_frontier
+
+    grid = _sweep_grid(args)
+    out_dir = args.out or f".dssoc_campaigns/{grid.grid_id}"
+    quiet = args.json
+
+    def progress(done: int, total: int, result) -> None:
+        if quiet:
+            return
+        status = "cached" if result.cached else result.status
+        extra = ""
+        if result.ok and result.metrics:
+            extra = f"  makespan={result.metrics['makespan_ms']:.3f}ms"
+        print(f"[{done:>4}/{total}] {result.cell.label:<40} {status}{extra}",
+              file=sys.stderr)
+
+    campaign = run_campaign(
+        grid,
+        out_dir=out_dir,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+        force=args.force,
+        progress=progress,
+    )
+
+    if args.json:
+        print(json.dumps(
+            {"summary": campaign.summary(), "cells": campaign.rows()}, indent=2
+        ))
+    else:
+        summary = campaign.summary()
+        print(campaign.table(sort_by=args.sort_by))
+        rows = [r for r in campaign.rows() if r["status"] == "ok"]
+        if len(rows) > 1:
+            print()
+            print(render_frontier(rows))
+            try:
+                print()
+                print(pareto_chart(rows))
+            except ValueError:
+                pass  # degenerate plane (all failed / single point)
+        print()
+        print(
+            f"campaign: {summary['cells']} cells, {summary['executed']} "
+            f"executed, {summary['cached']} cached, {summary['failed']} "
+            f"failed in {summary['elapsed_s']}s -> {out_dir}"
+        )
+    return 0 if campaign.ok else 1
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -179,6 +281,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print an ASCII Gantt chart of the schedule")
     run_p.add_argument("--trace", default="",
                        help="write the task schedule to a .csv/.json file")
+    run_p.add_argument("--json", action="store_true",
+                       help="print summary + full task schedule as one JSON "
+                            "document (machine-readable stdout)")
     run_p.set_defaults(fn=cmd_run)
 
     perf_p = sub.add_parser("perf", help="performance-mode emulation")
@@ -192,6 +297,47 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", choices=["table1", "fig9", "fig10", "fig11", "cs4"])
     exp_p.add_argument("--iterations", type=int, default=50)
     exp_p.set_defaults(fn=cmd_experiment)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a DSE campaign (configs x policies x workloads)"
+    )
+    sweep_p.add_argument("--spec", default="",
+                         help="JSON campaign spec file (overrides grid flags)")
+    sweep_p.add_argument("--platforms", default="zcu102")
+    sweep_p.add_argument("--configs", default="2C+2F,3C+2F")
+    sweep_p.add_argument("--policies", default="frfs")
+    sweep_p.add_argument("--apps", default="",
+                         help="validation workload, e.g. range_detection=2,wifi_tx=1")
+    sweep_p.add_argument("--rates", default="",
+                         help="comma-separated injection rates (jobs/ms) "
+                              "swept as performance-mode workloads")
+    sweep_p.add_argument("--seeds", default="", help="comma-separated seeds")
+    sweep_p.add_argument("--iterations", type=int, default=1,
+                         help="emulation iterations per cell")
+    sweep_p.add_argument("--jitter", action="store_true",
+                         help="enable the execution-time jitter model")
+    sweep_p.add_argument("--backend", default="virtual",
+                         choices=["virtual", "threaded"])
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = inline execution)")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-cell wall-clock timeout in seconds")
+    sweep_p.add_argument("--retries", type=int, default=1,
+                         help="re-attempts per failing cell")
+    sweep_p.add_argument("--out", default="",
+                         help="campaign directory (cache + journal + results); "
+                              "defaults to .dssoc_campaigns/<grid-hash>")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="append to the existing journal and re-queue "
+                              "only incomplete cells")
+    sweep_p.add_argument("--force", action="store_true",
+                         help="ignore cached results and recompute")
+    sweep_p.add_argument("--sort-by", default=None,
+                         help="sort the results table by this column "
+                              "(e.g. makespan_ms, total_energy_j)")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="print the campaign result set as JSON")
+    sweep_p.set_defaults(fn=cmd_sweep)
 
     list_p = sub.add_parser("list", help="show registered apps and policies")
     list_p.set_defaults(fn=cmd_list)

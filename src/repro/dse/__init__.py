@@ -1,0 +1,72 @@
+"""Design-space exploration campaign engine.
+
+The paper's purpose is pre-silicon DSE: sweep DSSoC configurations,
+scheduling policies, and workloads, then compare makespan, utilization,
+and energy (Figs. 9-11).  This package turns those sweeps into
+first-class *campaigns*:
+
+* :mod:`repro.dse.grid` — declarative sweep space (configs x policies x
+  workloads x seeds) expanded into cells with deterministic content IDs;
+* :mod:`repro.dse.cache` — content-hash keyed on-disk result store, so
+  re-running a campaign skips every already-computed cell;
+* :mod:`repro.dse.journal` — append-only JSONL event log enabling
+  crash-resume: a restarted campaign replays the journal and re-queues
+  only incomplete cells;
+* :mod:`repro.dse.runner` — parallel cell execution across a
+  ``ProcessPoolExecutor`` with failure isolation and bounded retry;
+* :mod:`repro.dse.frontier` — comparison tables and makespan-vs-energy
+  Pareto analysis over campaign result sets.
+
+Quickstart::
+
+    from repro.dse import SweepGrid, run_campaign, validation_sweep
+
+    grid = SweepGrid(
+        configs=("2C+2F", "3C+2F", "4C+2F"),
+        policies=("frfs", "met", "eft"),
+        workloads=(validation_sweep({"range_detection": 2}),),
+    )
+    campaign = run_campaign(grid, out_dir="campaign_out", jobs=4)
+    print(campaign.table())
+"""
+
+from repro.dse.cache import ResultCache
+from repro.dse.frontier import (
+    frontier_rows,
+    pareto_frontier,
+    render_frontier,
+)
+from repro.dse.grid import (
+    SweepCell,
+    SweepGrid,
+    build_workload,
+    rate_sweep,
+    table_ii_sweep,
+    validation_sweep,
+)
+from repro.dse.journal import Journal, JournalState
+from repro.dse.runner import (
+    CampaignResult,
+    CellResult,
+    execute_cell,
+    run_campaign,
+)
+
+__all__ = [
+    "SweepCell",
+    "SweepGrid",
+    "build_workload",
+    "validation_sweep",
+    "rate_sweep",
+    "table_ii_sweep",
+    "ResultCache",
+    "Journal",
+    "JournalState",
+    "CellResult",
+    "CampaignResult",
+    "execute_cell",
+    "run_campaign",
+    "pareto_frontier",
+    "frontier_rows",
+    "render_frontier",
+]

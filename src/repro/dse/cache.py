@@ -1,0 +1,79 @@
+"""Content-addressed on-disk result store for campaign cells.
+
+Each completed cell's metrics are stored as ``<cache_dir>/<cell_id>.json``
+where the cell ID is a content hash of the cell's parameters
+(:attr:`repro.dse.grid.SweepCell.cell_id`).  Re-running any campaign —
+the same one, a superset grid, or a different campaign that happens to
+share cells — therefore skips every cell whose result already exists.
+
+Writes are atomic (temp file + ``os.replace``) so a campaign killed
+mid-write can never leave a truncated entry behind; a corrupt or
+unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+#: Bumped whenever the metrics payload schema changes incompatibly;
+#: entries written under another version read as misses.
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Cell-ID keyed JSON store under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, cell_id: str) -> Path:
+        return self.root / f"{cell_id}.json"
+
+    def get(self, cell_id: str) -> dict[str, Any] | None:
+        """The cached metrics payload, or ``None`` on miss/corruption."""
+        path = self.path_for(cell_id)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
+            return None
+        payload = entry.get("metrics")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, cell_id: str, metrics: dict[str, Any]) -> Path:
+        """Atomically persist a cell's metrics; returns the entry path."""
+        path = self.path_for(cell_id)
+        tmp = path.with_suffix(".json.tmp")
+        entry = {"version": CACHE_VERSION, "cell_id": cell_id, "metrics": metrics}
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def discard(self, cell_id: str) -> bool:
+        """Remove one entry; returns whether it existed."""
+        try:
+            self.path_for(cell_id).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __contains__(self, cell_id: str) -> bool:
+        return self.get(cell_id) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

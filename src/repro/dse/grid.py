@@ -1,0 +1,264 @@
+"""Declarative sweep spaces for DSE campaigns.
+
+A :class:`SweepGrid` names the axes of a design-space sweep — platform,
+DSSoC configuration, scheduling policy, workload, seed — and expands
+their cross product into :class:`SweepCell` instances.  Cells are plain
+serializable data: a cell fully describes one emulation run without
+holding any live objects, so it can cross a process boundary, key an
+on-disk cache, and be replayed from a journal.
+
+Workloads are described by small dicts rather than ``WorkloadSpec``
+objects for the same reason; :func:`build_workload` materializes the
+spec inside whichever process executes the cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.common.errors import ReproError
+from repro.runtime.workload import WorkloadSpec
+
+#: Workload descriptor kinds understood by :func:`build_workload`.
+WORKLOAD_KINDS = ("validation", "rate", "table_ii")
+
+
+def validation_sweep(apps: dict[str, int]) -> dict[str, Any]:
+    """Descriptor for a validation-mode workload (all arrivals at t=0).
+
+    App order is preserved: with every arrival at t=0, instance order
+    (and therefore jitter-stream assignment) follows it, so two
+    orderings of the same counts are genuinely different cells.
+    """
+    return {"kind": "validation", "apps": dict(apps)}
+
+
+def rate_sweep(rate: float, time_frame_us: float | None = None) -> dict[str, Any]:
+    """Descriptor for a Table-II-mix workload at an arbitrary rate."""
+    desc: dict[str, Any] = {"kind": "rate", "rate": float(rate)}
+    if time_frame_us is not None:
+        desc["time_frame_us"] = float(time_frame_us)
+    return desc
+
+
+def table_ii_sweep(rate: float) -> dict[str, Any]:
+    """Descriptor for one of the five canonical Table II workloads."""
+    return {"kind": "table_ii", "rate": float(rate)}
+
+
+def build_workload(descriptor: dict[str, Any]) -> WorkloadSpec:
+    """Materialize a workload descriptor into a :class:`WorkloadSpec`."""
+    from repro.experiments.workloads import table_ii_workload, workload_at_rate
+    from repro.runtime.workload import validation_workload
+
+    kind = descriptor.get("kind")
+    if kind == "validation":
+        return validation_workload(dict(descriptor["apps"]))
+    if kind == "rate":
+        if "time_frame_us" in descriptor:
+            return workload_at_rate(
+                descriptor["rate"], descriptor["time_frame_us"]
+            )
+        return workload_at_rate(descriptor["rate"])
+    if kind == "table_ii":
+        return table_ii_workload(descriptor["rate"])
+    raise ReproError(
+        f"unknown workload descriptor kind {kind!r} (use {WORKLOAD_KINDS})"
+    )
+
+
+def describe_workload(descriptor: dict[str, Any]) -> str:
+    """Short human label for a workload descriptor."""
+    kind = descriptor.get("kind")
+    if kind == "validation":
+        apps = descriptor["apps"]
+        return ",".join(f"{n}={c}" for n, c in apps.items())
+    if kind in ("rate", "table_ii"):
+        return f"{kind}@{descriptor['rate']:g}"
+    return str(descriptor)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the sweep space: everything one emulation run needs.
+
+    The cell ID is a content hash over the canonical JSON encoding of the
+    cell's parameters — deterministic across processes, platforms, and
+    dict orderings — and keys both the result cache and the journal.
+    """
+
+    config: str
+    policy: str
+    workload: dict[str, Any]
+    platform: str = "zcu102"
+    seed: int | None = None
+    iterations: int = 1
+    jitter: bool = False
+    backend: str = "virtual"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "platform": self.platform,
+            "config": self.config,
+            "policy": self.policy,
+            "workload": dict(self.workload),
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "jitter": self.jitter,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> SweepCell:
+        return cls(
+            platform=data.get("platform", "zcu102"),
+            config=data["config"],
+            policy=data["policy"],
+            workload=dict(data["workload"]),
+            seed=data.get("seed"),
+            iterations=int(data.get("iterations", 1)),
+            jitter=bool(data.get("jitter", False)),
+            backend=data.get("backend", "virtual"),
+        )
+
+    @property
+    def cell_id(self) -> str:
+        payload = self.to_dict()
+        workload = payload["workload"]
+        if isinstance(workload.get("apps"), dict):
+            # apps order is execution-significant (arrival tie-breaking),
+            # so encode it as an ordered pair list rather than letting
+            # sort_keys erase the distinction
+            payload["workload"] = {
+                **workload, "apps": [list(kv) for kv in workload["apps"].items()]
+            }
+        canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def label(self) -> str:
+        parts = [self.config, self.policy, describe_workload(self.workload)]
+        if self.platform != "zcu102":
+            parts.insert(0, self.platform)
+        if self.seed is not None:
+            parts.append(f"seed{self.seed}")
+        return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Cross product of sweep axes.
+
+    Expansion order is deterministic: platforms, then workloads, then
+    configs, then policies, then seeds — so campaign output follows the
+    order experiments conventionally present (rate-major, config-minor
+    for Fig. 11; config-major for Fig. 9).
+    """
+
+    configs: tuple[str, ...]
+    policies: tuple[str, ...]
+    workloads: tuple[dict[str, Any], ...]
+    platforms: tuple[str, ...] = ("zcu102",)
+    seeds: tuple[int | None, ...] = (None,)
+    iterations: int = 1
+    jitter: bool = False
+    backend: str = "virtual"
+
+    def __post_init__(self) -> None:
+        if not self.configs:
+            raise ReproError("sweep grid needs at least one config")
+        if not self.policies:
+            raise ReproError("sweep grid needs at least one policy")
+        if not self.workloads:
+            raise ReproError("sweep grid needs at least one workload")
+        if self.iterations < 1:
+            raise ReproError("iterations must be >= 1")
+        if self.backend not in ("virtual", "threaded"):
+            raise ReproError(f"unknown backend {self.backend!r}")
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.platforms)
+            * len(self.workloads)
+            * len(self.configs)
+            * len(self.policies)
+            * len(self.seeds)
+        )
+
+    def expand(self) -> list[SweepCell]:
+        cells: list[SweepCell] = []
+        for platform in self.platforms:
+            for workload in self.workloads:
+                for config in self.configs:
+                    for policy in self.policies:
+                        for seed in self.seeds:
+                            cells.append(
+                                SweepCell(
+                                    platform=platform,
+                                    config=config,
+                                    policy=policy,
+                                    workload=dict(workload),
+                                    seed=seed,
+                                    iterations=self.iterations,
+                                    jitter=self.jitter,
+                                    backend=self.backend,
+                                )
+                            )
+        return cells
+
+    @property
+    def grid_id(self) -> str:
+        """Content hash of the whole grid (stable default campaign key)."""
+        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "platforms": list(self.platforms),
+            "configs": list(self.configs),
+            "policies": list(self.policies),
+            "workloads": [dict(w) for w in self.workloads],
+            "seeds": list(self.seeds),
+            "iterations": self.iterations,
+            "jitter": self.jitter,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> SweepGrid:
+        """Build a grid from a campaign spec dict (JSON file contents)."""
+        unknown = set(data) - {
+            "platforms", "configs", "policies", "workloads", "seeds",
+            "iterations", "jitter", "backend",
+        }
+        if unknown:
+            raise ReproError(f"unknown sweep spec keys: {sorted(unknown)}")
+        try:
+            workloads = tuple(dict(w) for w in data["workloads"])
+            grid = cls(
+                configs=tuple(data["configs"]),
+                policies=tuple(data["policies"]),
+                workloads=workloads,
+                platforms=tuple(data.get("platforms", ("zcu102",))),
+                seeds=tuple(data.get("seeds", (None,))),
+                iterations=int(data.get("iterations", 1)),
+                jitter=bool(data.get("jitter", False)),
+                backend=data.get("backend", "virtual"),
+            )
+        except KeyError as exc:
+            raise ReproError(f"sweep spec missing key: {exc}") from None
+        for w in grid.workloads:
+            if w.get("kind") not in WORKLOAD_KINDS:
+                raise ReproError(
+                    f"workload descriptor kind {w.get('kind')!r} not in "
+                    f"{WORKLOAD_KINDS}"
+                )
+        return grid
+
+    def with_overrides(self, **kwargs: Any) -> SweepGrid:
+        """A copy with some axes replaced (convenience for experiments)."""
+        return replace(self, **kwargs)

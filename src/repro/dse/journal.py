@@ -1,0 +1,108 @@
+"""Append-only JSONL campaign journal with crash-resume replay.
+
+Every campaign event — start, per-cell start/finish/error/cache-hit,
+end — is one JSON line, flushed as written.  A campaign killed mid-flight
+leaves a journal whose replay identifies exactly which cells completed;
+``run_campaign(..., resume=True)`` re-queues only the rest.
+
+The reader is deliberately tolerant: a process killed mid-``write`` can
+leave a truncated final line, which replay skips rather than failing,
+and unknown event types are ignored so journals stay forward-compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, IO
+
+EVENT_CAMPAIGN_START = "campaign_start"
+EVENT_CAMPAIGN_END = "campaign_end"
+EVENT_CELL_START = "cell_start"
+EVENT_CELL_FINISH = "cell_finish"
+EVENT_CELL_ERROR = "cell_error"
+EVENT_CELL_CACHED = "cell_cached"
+
+
+class Journal:
+    """Append-only event writer (one JSON object per line)."""
+
+    def __init__(self, path: str | Path, *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if resume else "w"
+        self._fh: IO[str] | None = open(self.path, mode, encoding="utf-8")
+        self._seq = 0
+
+    def append(self, event: str, **fields: Any) -> None:
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        self._seq += 1
+        record = {"event": event, "seq": self._seq, **fields}
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> Journal:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """Replay of a journal: where a (possibly crashed) campaign got to."""
+
+    completed: set[str] = field(default_factory=set)
+    errored: dict[str, int] = field(default_factory=dict)
+    started: set[str] = field(default_factory=set)
+    events: int = 0
+
+    @property
+    def incomplete(self) -> set[str]:
+        """Cells that started (or errored) but never finished."""
+        return (self.started | set(self.errored)) - self.completed
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """All parseable events in the journal; a truncated tail is skipped."""
+    events: list[dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a crash — ignore
+                if isinstance(record, dict) and "event" in record:
+                    events.append(record)
+    except FileNotFoundError:
+        return []
+    return events
+
+
+def replay(path: str | Path) -> JournalState:
+    """Fold the journal into the completed/incomplete cell sets."""
+    state = JournalState()
+    for record in read_events(path):
+        state.events += 1
+        cell_id = record.get("cell_id")
+        event = record["event"]
+        if not cell_id:
+            continue
+        if event == EVENT_CELL_START:
+            state.started.add(cell_id)
+        elif event in (EVENT_CELL_FINISH, EVENT_CELL_CACHED):
+            state.completed.add(cell_id)
+        elif event == EVENT_CELL_ERROR:
+            state.errored[cell_id] = state.errored.get(cell_id, 0) + 1
+    return state

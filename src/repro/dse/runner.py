@@ -1,0 +1,509 @@
+"""Campaign execution: parallel cell runs with caching, journal, retry.
+
+:func:`execute_cell` is the worker entry point — a module-level function
+taking/returning plain dicts so it crosses the ``ProcessPoolExecutor``
+pickle boundary.  :func:`run_campaign` orchestrates a whole sweep:
+
+* cache lookup first — cells whose content-hash result already exists on
+  disk are *not* re-executed;
+* virtual-backend cells fan out across worker processes (``jobs > 1``);
+  threaded-backend cells run inline in the parent, since they spawn one
+  OS thread per emulated PE and would oversubscribe cores from inside a
+  process pool;
+* per-cell wall-clock timeout and bounded retry with failure isolation —
+  one diverging or crashing cell cannot take the campaign down;
+* every state transition is journaled, so a killed campaign resumes by
+  re-queuing only incomplete cells.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.dse import journal as journal_mod
+from repro.dse.cache import ResultCache
+from repro.dse.grid import SweepCell, SweepGrid, build_workload, describe_workload
+from repro.dse.journal import Journal
+
+ProgressFn = Callable[[int, int, "CellResult"], None]
+
+
+# -- worker ----------------------------------------------------------------------
+
+
+def _make_platform(name: str):
+    from repro.hardware.platform import odroid_xu3, zcu102
+
+    if name == "zcu102":
+        return zcu102()
+    if name == "odroid_xu3":
+        return odroid_xu3()
+    raise ValueError(f"unknown platform {name!r} (zcu102 | odroid_xu3)")
+
+
+def _make_backend(name: str):
+    from repro.runtime.backends.threaded import ThreadedBackend
+    from repro.runtime.backends.virtual import VirtualBackend
+
+    if name == "virtual":
+        return VirtualBackend()
+    if name == "threaded":
+        return ThreadedBackend()
+    raise ValueError(f"unknown backend {name!r} (virtual | threaded)")
+
+
+def execute_cell(cell_data: dict[str, Any]) -> dict[str, Any]:
+    """Run one sweep cell to completion and return its metrics payload.
+
+    Iterations replicate the experiment-script convention: a fresh
+    :class:`Emulation` per iteration with ``run_index`` varying the
+    jitter stream, the workload built once per cell.  All payload values
+    are JSON-serializable (this dict is exactly what the cache stores).
+    """
+    from repro.runtime.emulation import Emulation
+
+    cell = SweepCell.from_dict(cell_data)
+    platform = _make_platform(cell.platform)
+    workload = build_workload(cell.workload)
+    materialize = cell.backend == "threaded"
+
+    t0 = time.monotonic()
+    makespans_us: list[float] = []
+    overheads_us: list[float] = []
+    last = None
+    for it in range(cell.iterations):
+        emu = Emulation(
+            platform=platform,
+            config=cell.config,
+            policy=cell.policy,
+            materialize_memory=materialize,
+            jitter=cell.jitter,
+            seed=cell.seed,
+        )
+        last = emu.run(workload, _make_backend(cell.backend), run_index=it)
+        makespans_us.append(last.stats.makespan)
+        overheads_us.append(last.stats.avg_scheduling_overhead())
+    assert last is not None
+    stats = last.stats
+
+    makespans_ms = [us / 1000.0 for us in makespans_us]
+    pe_energy = stats.pe_energy()
+    metrics: dict[str, Any] = {
+        "cell_id": cell.cell_id,
+        "label": cell.label,
+        "params": cell.to_dict(),
+        "iterations": cell.iterations,
+        "makespan_us_runs": makespans_us,
+        "sched_overhead_us_runs": overheads_us,
+        "makespan_ms": float(np.mean(makespans_ms)),
+        "makespan_ms_median": float(np.median(makespans_ms)),
+        "execution_time_s": float(np.mean([us / 1e6 for us in makespans_us])),
+        "avg_sched_overhead_us": float(np.mean(overheads_us)),
+        "mean_ready_length": stats.mean_ready_length(),
+        "sched_invocations": stats.sched_invocations,
+        "tasks": stats.task_count,
+        "apps_injected": stats.apps_injected,
+        "apps_completed": stats.apps_completed,
+        "pe_utilization": stats.pe_utilization(),
+        "pe_energy_j": pe_energy,
+        "total_energy_j": float(sum(pe_energy.values())),
+        "mean_response_ms": {
+            app: float(np.mean(times)) / 1000.0
+            for app, times in sorted(stats.app_response_times.items())
+        },
+        "wall_time_s": time.monotonic() - t0,
+    }
+    if cell.backend == "threaded":
+        metrics["outputs_correct"] = last.verify_outputs()
+    return metrics
+
+
+# -- results ---------------------------------------------------------------------
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: metrics on success, diagnosis otherwise."""
+
+    cell: SweepCell
+    status: str  # "ok" | "error" | "timeout"
+    metrics: dict[str, Any] | None = None
+    error: str | None = None
+    cached: bool = False
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def row(self) -> dict[str, Any]:
+        """Flat dict for tables and Pareto analysis."""
+        row: dict[str, Any] = {
+            "label": self.cell.label,
+            "platform": self.cell.platform,
+            "config": self.cell.config,
+            "policy": self.cell.policy,
+            "workload": describe_workload(self.cell.workload),
+            "seed": self.cell.seed,
+            "iterations": self.cell.iterations,
+            "status": self.status,
+            "cached": self.cached,
+            "cell_id": self.cell.cell_id,
+        }
+        if self.metrics:
+            for key in (
+                "makespan_ms",
+                "makespan_ms_median",
+                "execution_time_s",
+                "avg_sched_overhead_us",
+                "total_energy_j",
+                "tasks",
+                "apps_completed",
+            ):
+                row[key] = self.metrics.get(key)
+        if self.error:
+            row["error"] = self.error
+        return row
+
+
+@dataclass
+class CampaignResult:
+    """All cell results of one campaign, in grid order."""
+
+    results: list[CellResult]
+    out_dir: Path | None = None
+    elapsed_s: float = 0.0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.results if r.ok and not r.cached)
+
+    @property
+    def cached_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    def failures(self) -> list[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    def rows(self) -> list[dict[str, Any]]:
+        return [r.row() for r in self.results]
+
+    def table(self, *, sort_by: str | None = None) -> str:
+        from repro.analysis.tables import campaign_table
+
+        return campaign_table(self.rows(), sort_by=sort_by)
+
+    def frontier(
+        self,
+        x: str = "makespan_ms",
+        y: str = "total_energy_j",
+    ) -> list[dict[str, Any]]:
+        from repro.dse.frontier import frontier_rows
+
+        return frontier_rows(self.rows(), x=x, y=y)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "cells": len(self.results),
+            "executed": self.executed,
+            "cached": self.cached_hits,
+            "failed": len(self.failures()),
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"summary": self.summary(), "cells": self.rows()}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+        return path
+
+
+# -- execution strategies --------------------------------------------------------
+
+
+@dataclass
+class _Recorder:
+    """Journal/cache/progress bookkeeping shared by both strategies."""
+
+    total: int
+    cache: ResultCache | None = None
+    journal: Journal | None = None
+    progress: ProgressFn | None = None
+    done: int = 0
+    collected: dict[str, CellResult] = field(default_factory=dict)
+
+    def on_start(self, cell: SweepCell, attempt: int) -> None:
+        if self.journal:
+            self.journal.append(
+                journal_mod.EVENT_CELL_START,
+                cell_id=cell.cell_id,
+                label=cell.label,
+                attempt=attempt,
+            )
+
+    def on_result(self, result: CellResult) -> None:
+        self.collected[result.cell.cell_id] = result
+        self.done += 1
+        if result.ok and not result.cached and self.cache is not None:
+            assert result.metrics is not None
+            self.cache.put(result.cell.cell_id, result.metrics)
+        if self.journal:
+            if result.ok:
+                event = (
+                    journal_mod.EVENT_CELL_CACHED
+                    if result.cached
+                    else journal_mod.EVENT_CELL_FINISH
+                )
+                self.journal.append(
+                    event,
+                    cell_id=result.cell.cell_id,
+                    label=result.cell.label,
+                    makespan_ms=result.metrics.get("makespan_ms")
+                    if result.metrics
+                    else None,
+                    attempts=result.attempts,
+                )
+            else:
+                self.journal.append(
+                    journal_mod.EVENT_CELL_ERROR,
+                    cell_id=result.cell.cell_id,
+                    label=result.cell.label,
+                    error=result.error,
+                    attempts=result.attempts,
+                )
+        if self.progress:
+            self.progress(self.done, self.total, result)
+
+
+def _run_inline(
+    cells: list[SweepCell], max_attempts: int, recorder: _Recorder
+) -> None:
+    """Sequential execution in this process (jobs=1 / threaded backend)."""
+    for cell in cells:
+        last_error = ""
+        for attempt in range(1, max_attempts + 1):
+            recorder.on_start(cell, attempt)
+            try:
+                metrics = execute_cell(cell.to_dict())
+            except Exception as exc:  # noqa: BLE001 — isolate cell failures
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            recorder.on_result(
+                CellResult(cell, "ok", metrics, attempts=attempt)
+            )
+            break
+        else:
+            recorder.on_result(
+                CellResult(
+                    cell, "error", error=last_error, attempts=max_attempts
+                )
+            )
+
+
+def _run_parallel(
+    cells: list[SweepCell],
+    jobs: int,
+    timeout_s: float | None,
+    max_attempts: int,
+    recorder: _Recorder,
+) -> None:
+    """Fan cells out over a process pool with timeout + bounded retry.
+
+    At most ``jobs`` futures are kept in flight so submission time
+    approximates start time, making the per-cell timeout meaningful.  A
+    timed-out or pool-breaking cell forces a pool recycle (the stuck
+    worker cannot be reclaimed); other in-flight cells are re-queued
+    without charging them an attempt.
+    """
+    queue: deque[tuple[SweepCell, int]] = deque((c, 1) for c in cells)
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    in_flight: dict[Future, tuple[SweepCell, int, float]] = {}
+    try:
+        while queue or in_flight:
+            while queue and len(in_flight) < jobs:
+                cell, attempt = queue.popleft()
+                recorder.on_start(cell, attempt)
+                fut = pool.submit(execute_cell, cell.to_dict())
+                in_flight[fut] = (cell, attempt, time.monotonic())
+            done, _pending = wait(
+                set(in_flight), timeout=0.1, return_when=FIRST_COMPLETED
+            )
+            recycle = False
+            for fut in done:
+                cell, attempt, _t0 = in_flight.pop(fut)
+                try:
+                    metrics = fut.result()
+                except BrokenProcessPool:
+                    recycle = True
+                    if attempt < max_attempts:
+                        queue.append((cell, attempt + 1))
+                    else:
+                        recorder.on_result(
+                            CellResult(
+                                cell,
+                                "error",
+                                error="worker process died",
+                                attempts=attempt,
+                            )
+                        )
+                except Exception as exc:  # noqa: BLE001 — isolate cell failures
+                    if attempt < max_attempts:
+                        queue.append((cell, attempt + 1))
+                    else:
+                        recorder.on_result(
+                            CellResult(
+                                cell,
+                                "error",
+                                error=f"{type(exc).__name__}: {exc}",
+                                attempts=attempt,
+                            )
+                        )
+                else:
+                    recorder.on_result(
+                        CellResult(cell, "ok", metrics, attempts=attempt)
+                    )
+            if timeout_s is not None:
+                now = time.monotonic()
+                for fut, (cell, attempt, t0) in list(in_flight.items()):
+                    if now - t0 > timeout_s:
+                        fut.cancel()
+                        del in_flight[fut]
+                        recorder.on_result(
+                            CellResult(
+                                cell,
+                                "timeout",
+                                error=f"cell exceeded {timeout_s:g}s",
+                                attempts=attempt,
+                            )
+                        )
+                        recycle = True
+            if recycle:
+                for fut, (cell, attempt, _t0) in in_flight.items():
+                    fut.cancel()
+                    queue.append((cell, attempt))
+                in_flight.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=jobs)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+# -- orchestration ---------------------------------------------------------------
+
+
+def run_campaign(
+    grid: SweepGrid | Iterable[SweepCell],
+    *,
+    out_dir: str | Path | None = None,
+    jobs: int = 1,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    resume: bool = False,
+    force: bool = False,
+    progress: ProgressFn | None = None,
+) -> CampaignResult:
+    """Run every cell of a sweep, returning results in grid order.
+
+    With ``out_dir`` the campaign is durable: completed cells land in a
+    content-addressed cache (``out_dir/cache/``) and every event in an
+    append-only journal (``out_dir/journal.jsonl``); a results summary is
+    written to ``out_dir/results.json``.  Re-running the campaign skips
+    cached cells; ``resume=True`` additionally appends to the existing
+    journal (instead of starting a new one) after replaying it to report
+    where the previous attempt stopped.  ``force=True`` ignores the
+    cache and recomputes everything.
+    """
+    cells = grid.expand() if isinstance(grid, SweepGrid) else list(grid)
+    max_attempts = 1 + max(0, int(retries))
+    t_start = time.monotonic()
+
+    cache: ResultCache | None = None
+    journal: Journal | None = None
+    out_path: Path | None = None
+    prior = journal_mod.JournalState()
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        cache = ResultCache(out_path / "cache")
+        journal_path = out_path / "journal.jsonl"
+        if resume:
+            prior = journal_mod.replay(journal_path)
+        journal = Journal(journal_path, resume=resume)
+        journal.append(
+            journal_mod.EVENT_CAMPAIGN_START,
+            cells=len(cells),
+            resume=resume,
+            prior_completed=len(prior.completed),
+            prior_incomplete=len(prior.incomplete),
+        )
+
+    recorder = _Recorder(
+        total=len(cells), cache=cache, journal=journal, progress=progress
+    )
+
+    # Cache pass: satisfy what we can without executing; dedupe repeats.
+    to_run: list[SweepCell] = []
+    seen: set[str] = set()
+    for cell in cells:
+        cid = cell.cell_id
+        if cid in seen:
+            continue
+        seen.add(cid)
+        hit = cache.get(cid) if (cache is not None and not force) else None
+        if hit is not None:
+            recorder.on_result(CellResult(cell, "ok", hit, cached=True))
+        else:
+            to_run.append(cell)
+
+    inline = [c for c in to_run if c.backend == "threaded"]
+    pooled = [c for c in to_run if c.backend != "threaded"]
+    try:
+        if jobs > 1 and len(pooled) > 1:
+            _run_parallel(pooled, jobs, timeout_s, max_attempts, recorder)
+        else:
+            _run_inline(pooled, max_attempts, recorder)
+        if inline:
+            _run_inline(inline, max_attempts, recorder)
+        if journal:
+            failed = sum(
+                1 for r in recorder.collected.values() if not r.ok
+            )
+            journal.append(
+                journal_mod.EVENT_CAMPAIGN_END,
+                cells=len(cells),
+                failed=failed,
+            )
+    finally:
+        if journal:
+            journal.close()
+
+    results = [recorder.collected[cell.cell_id] for cell in cells]
+    campaign = CampaignResult(
+        results=results,
+        out_dir=out_path,
+        elapsed_s=time.monotonic() - t_start,
+    )
+    if out_path is not None:
+        campaign.save(out_path / "results.json")
+    return campaign

@@ -11,9 +11,12 @@ from dataclasses import dataclass
 
 from repro.analysis.boxstats import BoxStats, box_stats
 from repro.analysis.tables import format_table
-from repro.experiments.workloads import FIG9_CONFIGS, fig9_workload
-from repro.runtime.backends.virtual import VirtualBackend
-from repro.runtime.emulation import Emulation
+from repro.common.errors import EmulationError
+from repro.dse import SweepGrid, run_campaign, validation_sweep
+from repro.experiments.workloads import FIG9_CONFIGS
+
+#: Case study 1's validation workload: one instance of each application.
+FIG9_APPS = {"pulse_doppler": 1, "range_detection": 1, "wifi_tx": 1, "wifi_rx": 1}
 
 
 @dataclass
@@ -23,40 +26,54 @@ class Fig9Row:
     pe_utilization: dict[str, float]  # per PE name
 
 
+def fig9_grid(
+    *,
+    iterations: int = 50,
+    configs: tuple[str, ...] = FIG9_CONFIGS,
+    policy: str = "frfs",
+    seed: int = 0,
+) -> SweepGrid:
+    """The Fig. 9 sweep as a campaign grid (configs x one workload)."""
+    return SweepGrid(
+        configs=tuple(configs),
+        policies=(policy,),
+        workloads=(validation_sweep(FIG9_APPS),),
+        seeds=(seed,),
+        iterations=iterations,
+        jitter=True,
+    )
+
+
 def run_fig9(
     *,
     iterations: int = 50,
     configs: tuple[str, ...] = FIG9_CONFIGS,
     policy: str = "frfs",
     seed: int = 0,
+    jobs: int = 1,
+    out_dir: str | None = None,
 ) -> list[Fig9Row]:
     """Reproduce Fig. 9: ``iterations`` runs per configuration.
 
     The paper generates its box plot from 50 iterations; per-run variation
-    comes from the calibrated execution-time jitter model.
+    comes from the calibrated execution-time jitter model.  The sweep runs
+    through the DSE campaign engine: pass ``jobs`` to parallelize across
+    configurations and ``out_dir`` to cache/journal the campaign.
     """
+    grid = fig9_grid(
+        iterations=iterations, configs=configs, policy=policy, seed=seed
+    )
+    campaign = run_campaign(grid, jobs=jobs, out_dir=out_dir)
     rows: list[Fig9Row] = []
-    workload = fig9_workload()
-    backend = VirtualBackend()
-    for config in configs:
-        times_ms: list[float] = []
-        last_util: dict[str, float] = {}
-        for it in range(iterations):
-            emu = Emulation(
-                config=config,
-                policy=policy,
-                materialize_memory=False,
-                jitter=True,
-                seed=seed,
-            )
-            result = emu.run(workload, backend, run_index=it)
-            times_ms.append(result.makespan_ms)
-            last_util = result.stats.pe_utilization()
+    for res in campaign:
+        if not res.ok or res.metrics is None:
+            raise EmulationError(f"fig9 cell {res.cell.label} failed: {res.error}")
+        times_ms = [us / 1000.0 for us in res.metrics["makespan_us_runs"]]
         rows.append(
             Fig9Row(
-                config=config,
+                config=res.cell.config,
                 execution_time=box_stats(times_ms),
-                pe_utilization=last_util,
+                pe_utilization=dict(res.metrics["pe_utilization"]),
             )
         )
     return rows

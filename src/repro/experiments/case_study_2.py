@@ -12,10 +12,9 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
 from repro.apps import default_applications
-from repro.experiments.workloads import TABLE_II_RATES, table_ii_workload
-from repro.runtime.backends.virtual import VirtualBackend
-from repro.runtime.emulation import Emulation
-from repro.runtime.workload import validation_workload
+from repro.common.errors import EmulationError
+from repro.dse import SweepGrid, run_campaign, table_ii_sweep, validation_sweep
+from repro.experiments.workloads import TABLE_II_RATES
 
 #: Paper Table I reference values (ms / count) for EXPERIMENTS.md.
 PAPER_TABLE_I = {
@@ -35,19 +34,25 @@ class TableIRow:
 
 def run_table_i(*, config: str = "3C+2F", policy: str = "frfs") -> list[TableIRow]:
     """Standalone application times (single instance, validation mode)."""
+    grid = SweepGrid(
+        configs=(config,),
+        policies=(policy,),
+        workloads=tuple(
+            validation_sweep({app_name: 1}) for app_name in default_applications()
+        ),
+    )
     rows: list[TableIRow] = []
-    for app_name in default_applications():
-        emu = Emulation(
-            config=config, policy=policy, materialize_memory=False, jitter=False
-        )
-        result = emu.run(
-            validation_workload({app_name: 1}), VirtualBackend()
-        )
+    for res in run_campaign(grid):
+        if not res.ok or res.metrics is None:
+            raise EmulationError(
+                f"table I cell {res.cell.label} failed: {res.error}"
+            )
+        (app_name,) = res.cell.workload["apps"]
         rows.append(
             TableIRow(
                 application=app_name,
-                execution_time_ms=result.makespan_ms,
-                task_count=result.stats.task_count,
+                execution_time_ms=res.metrics["makespan_us_runs"][0] / 1000.0,
+                task_count=res.metrics["tasks"],
             )
         )
     return rows
@@ -77,31 +82,46 @@ class Fig10Point:
     mean_ready_length: float
 
 
+def fig10_grid(
+    *,
+    rates: tuple[float, ...] = TABLE_II_RATES,
+    policies: tuple[str, ...] = ("eft", "met", "frfs"),
+    config: str = "3C+2F",
+) -> SweepGrid:
+    """The Fig. 10 sweep as a campaign grid (rates x policies)."""
+    return SweepGrid(
+        configs=(config,),
+        policies=tuple(policies),
+        workloads=tuple(table_ii_sweep(rate) for rate in rates),
+    )
+
+
 def run_fig10(
     *,
     rates: tuple[float, ...] = TABLE_II_RATES,
     policies: tuple[str, ...] = ("eft", "met", "frfs"),
     config: str = "3C+2F",
+    jobs: int = 1,
+    out_dir: str | None = None,
 ) -> list[Fig10Point]:
     """Sweep policies across the Table II injection-rate workloads."""
+    grid = fig10_grid(rates=rates, policies=policies, config=config)
+    campaign = run_campaign(grid, jobs=jobs, out_dir=out_dir)
     points: list[Fig10Point] = []
-    for rate in rates:
-        workload = table_ii_workload(rate)
-        for policy in policies:
-            emu = Emulation(
-                config=config, policy=policy,
-                materialize_memory=False, jitter=False,
+    for res in campaign:
+        if not res.ok or res.metrics is None:
+            raise EmulationError(
+                f"fig10 cell {res.cell.label} failed: {res.error}"
             )
-            result = emu.run(workload, VirtualBackend())
-            points.append(
-                Fig10Point(
-                    rate=rate,
-                    policy=policy,
-                    execution_time_s=result.stats.makespan / 1e6,
-                    avg_sched_overhead_us=result.stats.avg_scheduling_overhead(),
-                    mean_ready_length=result.stats.mean_ready_length(),
-                )
+        points.append(
+            Fig10Point(
+                rate=res.cell.workload["rate"],
+                policy=res.cell.policy,
+                execution_time_s=res.metrics["makespan_us_runs"][0] / 1e6,
+                avg_sched_overhead_us=res.metrics["sched_overhead_us_runs"][0],
+                mean_ready_length=res.metrics["mean_ready_length"],
             )
+        )
     return points
 
 

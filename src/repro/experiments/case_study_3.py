@@ -14,10 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.experiments.workloads import FIG11_CONFIGS, FIG11_RATES, workload_at_rate
-from repro.hardware.platform import odroid_xu3
-from repro.runtime.backends.virtual import VirtualBackend
-from repro.runtime.emulation import Emulation
+from repro.common.errors import EmulationError
+from repro.dse import SweepGrid, rate_sweep, run_campaign
+from repro.experiments.workloads import FIG11_CONFIGS, FIG11_RATES
 
 
 @dataclass
@@ -28,45 +27,63 @@ class Fig11Point:
     avg_sched_overhead_us: float
 
 
+def fig11_grid(
+    *,
+    configs: tuple[str, ...] = FIG11_CONFIGS,
+    rates: tuple[float, ...] = FIG11_RATES,
+    policy: str = "frfs",
+    iterations: int = 1,
+) -> SweepGrid:
+    """The Fig. 11 sweep as a campaign grid (rates x Odroid configs)."""
+    return SweepGrid(
+        platforms=("odroid_xu3",),
+        configs=tuple(configs),
+        policies=(policy,),
+        workloads=tuple(rate_sweep(rate) for rate in rates),
+        iterations=iterations,
+        jitter=iterations > 1,
+    )
+
+
 def run_fig11(
     *,
     configs: tuple[str, ...] = FIG11_CONFIGS,
     rates: tuple[float, ...] = FIG11_RATES,
     policy: str = "frfs",
     iterations: int = 1,
+    jobs: int = 1,
+    out_dir: str | None = None,
 ) -> list[Fig11Point]:
     """Sweep Odroid configurations against injection rates.
 
     The paper averages multiple iterations per point; with jitter disabled
     the virtual backend is deterministic, so ``iterations=1`` reproduces
-    the mean directly (pass more to exercise the averaging path).
+    the mean directly (pass more to exercise the averaging path).  The
+    12-config x 8-rate product runs through the DSE campaign engine;
+    ``jobs`` parallelizes it and ``out_dir`` makes it cached/resumable.
     """
-    platform = odroid_xu3()
+    grid = fig11_grid(
+        configs=configs, rates=rates, policy=policy, iterations=iterations
+    )
+    campaign = run_campaign(grid, jobs=jobs, out_dir=out_dir)
     points: list[Fig11Point] = []
-    for rate in rates:
-        workload = workload_at_rate(rate)
-        for config in configs:
-            times = []
-            overheads = []
-            for it in range(iterations):
-                emu = Emulation(
-                    platform=platform,
-                    config=config,
-                    policy=policy,
-                    materialize_memory=False,
-                    jitter=iterations > 1,
-                )
-                result = emu.run(workload, VirtualBackend(), run_index=it)
-                times.append(result.stats.makespan / 1e6)
-                overheads.append(result.stats.avg_scheduling_overhead())
-            points.append(
-                Fig11Point(
-                    config=config,
-                    rate=rate,
-                    execution_time_s=float(np.mean(times)),
-                    avg_sched_overhead_us=float(np.mean(overheads)),
-                )
+    for res in campaign:
+        if not res.ok or res.metrics is None:
+            raise EmulationError(
+                f"fig11 cell {res.cell.label} failed: {res.error}"
             )
+        points.append(
+            Fig11Point(
+                config=res.cell.config,
+                rate=res.cell.workload["rate"],
+                execution_time_s=float(
+                    np.mean([us / 1e6 for us in res.metrics["makespan_us_runs"]])
+                ),
+                avg_sched_overhead_us=float(
+                    np.mean(res.metrics["sched_overhead_us_runs"])
+                ),
+            )
+        )
     return points
 
 

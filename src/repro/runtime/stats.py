@@ -174,8 +174,17 @@ class EmulationStats:
                 f"{self.apps_injected} applications did not complete"
             )
 
+    def mean_response_times(self) -> dict[str, float]:
+        """Mean response time per application in ms (empty apps omitted)."""
+        return {
+            app: float(np.mean(times)) / 1000.0
+            for app, times in sorted(self.app_response_times.items())
+            if times
+        }
+
     def summary(self) -> dict:
         """Flat report dict (what the bench harnesses print)."""
+        energy = self.pe_energy()
         return {
             "label": self.label,
             "config": self.config_label,
@@ -189,5 +198,10 @@ class EmulationStats:
             "sched_invocations": self.sched_invocations,
             "pe_utilization": {
                 k: round(v, 4) for k, v in self.pe_utilization().items()
+            },
+            "pe_energy_j": {k: round(v, 6) for k, v in energy.items()},
+            "total_energy_j": round(sum(energy.values()), 6),
+            "mean_response_ms": {
+                k: round(v, 4) for k, v in self.mean_response_times().items()
             },
         }

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.appmodel.library import KernelLibrary
 from repro.common.errors import ApplicationSpecError, EmulationError
 from repro.hardware.platform import odroid_xu3
 from repro.runtime.backends import ThreadedBackend, VirtualBackend

@@ -74,6 +74,32 @@ class TestCommands:
         assert rc == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_run_json_document(self, capsys):
+        rc = main(["run", "--apps", "wifi_tx=1", "--no-jitter", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["apps_completed"] == 1
+        assert len(doc["tasks"]) == doc["summary"]["tasks"] == 7
+        assert {"pe_name", "start_time", "finish_time"} <= set(doc["tasks"][0])
+
+    def test_run_json_with_trace_keeps_stdout_clean(self, tmp_path, capsys):
+        trace = tmp_path / "sched.csv"
+        rc = main(["run", "--apps", "wifi_tx=1", "--no-jitter", "--json",
+                   "--trace", str(trace)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is pure JSON
+        assert "trace written" in captured.err
+        assert trace.exists()
+
+    def test_summary_reports_energy_and_response(self, capsys):
+        rc = main(["run", "--apps", "wifi_tx=1", "--no-jitter"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_energy_j"] > 0
+        assert set(payload["pe_energy_j"]) == set(payload["pe_utilization"])
+        assert payload["mean_response_ms"]["wifi_tx"] > 0
+
     def test_export_specs_roundtrip(self, tmp_path, capsys):
         from repro.appmodel.jsonspec import load_graph
 
@@ -86,3 +112,70 @@ class TestCommands:
         ]
         graph = load_graph(tmp_path / "pulse_doppler.json")
         assert graph.task_count == 770
+
+
+class TestSweep:
+    """The acceptance scenario: a 12-cell grid, parallel, then cached."""
+
+    # 3 configs x 4 policies = 12 cells (zcu102's pool tops out at 3C+2F)
+    GRID = [
+        "--configs", "1C+2F,2C+2F,3C+2F",
+        "--policies", "frfs,met,eft,random",
+        "--apps", "wifi_tx=1",
+    ]
+
+    def test_parallel_sweep_then_instant_resume(self, tmp_path, capsys):
+        out = tmp_path / "campaign"
+        rc = main(["sweep", *self.GRID, "--jobs", "4", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads((out / "results.json").read_text())
+        assert doc["summary"]["cells"] == 12
+        assert doc["summary"]["executed"] == 12
+        assert doc["summary"]["failed"] == 0
+        assert (out / "journal.jsonl").exists()
+        assert len(list((out / "cache").glob("*.json"))) == 12
+        text = capsys.readouterr().out
+        assert "Campaign results" in text and "Pareto frontier" in text
+
+        # second invocation: everything served from the cache
+        rc = main(["sweep", *self.GRID, "--jobs", "4", "--out", str(out),
+                   "--resume"])
+        assert rc == 0
+        doc = json.loads((out / "results.json").read_text())
+        assert doc["summary"]["executed"] == 0
+        assert doc["summary"]["cached"] == 12
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        out = tmp_path / "campaign"
+        rc = main(["sweep", "--configs", "2C+1F", "--policies", "frfs",
+                   "--apps", "wifi_tx=1", "--out", str(out), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["cells"] == 1
+        assert doc["cells"][0]["status"] == "ok"
+        assert doc["cells"][0]["makespan_ms"] > 0
+
+    def test_sweep_from_spec_file(self, tmp_path, capsys):
+        spec = {
+            "configs": ["2C+1F", "3C+0F"],
+            "policies": ["frfs"],
+            "workloads": [{"kind": "validation", "apps": {"wifi_tx": 1}}],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec), encoding="utf-8")
+        out = tmp_path / "campaign"
+        rc = main(["sweep", "--spec", str(spec_path), "--out", str(out)])
+        assert rc == 0
+        doc = json.loads((out / "results.json").read_text())
+        assert doc["summary"]["cells"] == 2
+
+    def test_sweep_reports_cell_failures(self, tmp_path, capsys):
+        out = tmp_path / "campaign"
+        rc = main(["sweep", "--configs", "2C+1F",
+                   "--policies", "frfs,no_such_policy",
+                   "--apps", "wifi_tx=1", "--retries", "0",
+                   "--out", str(out)])
+        assert rc == 1
+        doc = json.loads((out / "results.json").read_text())
+        statuses = {c["policy"]: c["status"] for c in doc["cells"]}
+        assert statuses == {"frfs": "ok", "no_such_policy": "error"}

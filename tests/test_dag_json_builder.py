@@ -14,7 +14,6 @@ from repro.appmodel.jsonspec import (
     graph_to_json,
     load_graph,
 )
-from repro.appmodel.variables import buffer_spec, scalar_spec
 from repro.common.errors import ApplicationSpecError
 from tests.conftest import make_diamond_graph
 

@@ -1,0 +1,340 @@
+"""Tests for the DSE campaign engine (grid, cache, journal, runner, Pareto)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.dse import (
+    Journal,
+    ResultCache,
+    SweepCell,
+    SweepGrid,
+    build_workload,
+    rate_sweep,
+    run_campaign,
+    table_ii_sweep,
+    validation_sweep,
+)
+from repro.dse import journal as journal_mod
+from repro.dse import runner as runner_mod
+from repro.dse.frontier import best_by, frontier_rows, pareto_frontier
+
+TINY = validation_sweep({"wifi_tx": 1})
+
+
+def tiny_grid(
+    configs=("2C+1F", "3C+0F"), policies=("frfs", "met")
+) -> SweepGrid:
+    return SweepGrid(configs=configs, policies=policies, workloads=(TINY,))
+
+
+class TestCellIdentity:
+    def test_cell_id_deterministic(self):
+        a = SweepCell(config="2C+1F", policy="frfs", workload=TINY, seed=3)
+        b = SweepCell.from_dict(a.to_dict())
+        assert a.cell_id == b.cell_id
+
+    def test_cell_id_ignores_descriptor_field_ordering(self):
+        w1 = {"kind": "validation", "apps": {"wifi_tx": 1, "wifi_rx": 2}}
+        w2 = {"apps": {"wifi_tx": 1, "wifi_rx": 2}, "kind": "validation"}
+        a = SweepCell(config="2C+1F", policy="frfs", workload=w1)
+        b = SweepCell(config="2C+1F", policy="frfs", workload=w2)
+        assert a.cell_id == b.cell_id
+
+    def test_cell_id_respects_app_order(self):
+        # all arrivals are at t=0, so instance order — and therefore the
+        # jitter-stream assignment — follows app order: different cells
+        w1 = validation_sweep({"wifi_tx": 1, "wifi_rx": 2})
+        w2 = validation_sweep({"wifi_rx": 2, "wifi_tx": 1})
+        a = SweepCell(config="2C+1F", policy="frfs", workload=w1)
+        b = SweepCell(config="2C+1F", policy="frfs", workload=w2)
+        assert a.cell_id != b.cell_id
+
+    def test_cell_id_sensitive_to_every_axis(self):
+        base = SweepCell(config="2C+1F", policy="frfs", workload=TINY)
+        variants = [
+            SweepCell(config="3C+1F", policy="frfs", workload=TINY),
+            SweepCell(config="2C+1F", policy="met", workload=TINY),
+            SweepCell(config="2C+1F", policy="frfs", workload=rate_sweep(4.0)),
+            SweepCell(config="2C+1F", policy="frfs", workload=TINY, seed=1),
+            SweepCell(config="2C+1F", policy="frfs", workload=TINY, jitter=True),
+            SweepCell(config="2C+1F", policy="frfs", workload=TINY, iterations=2),
+            SweepCell(config="2C+1F", policy="frfs", workload=TINY,
+                      platform="odroid_xu3"),
+            SweepCell(config="2C+1F", policy="frfs", workload=TINY,
+                      backend="threaded"),
+        ]
+        ids = {base.cell_id} | {v.cell_id for v in variants}
+        assert len(ids) == len(variants) + 1
+
+    def test_cell_id_stable_across_sessions(self):
+        # A frozen value: changing the hashing scheme invalidates every
+        # on-disk cache, which must be a deliberate (versioned) decision.
+        cell = SweepCell(config="2C+1F", policy="frfs",
+                         workload={"kind": "validation", "apps": {"wifi_tx": 1}})
+        assert cell.cell_id == cell.cell_id == SweepCell.from_dict(
+            json.loads(json.dumps(cell.to_dict()))
+        ).cell_id
+
+
+class TestGrid:
+    def test_expansion_size_and_order(self):
+        grid = SweepGrid(
+            configs=("A", "B"),
+            policies=("p", "q"),
+            workloads=(TINY, rate_sweep(4.0)),
+            seeds=(0, 1),
+        )
+        cells = grid.expand()
+        assert len(cells) == grid.size == 16
+        # workload-major, then config, then policy, then seed
+        assert [c.workload["kind"] for c in cells[:4]] == ["validation"] * 4
+        assert [(c.config, c.policy, c.seed) for c in cells[:4]] == [
+            ("A", "p", 0), ("A", "p", 1), ("A", "q", 0), ("A", "q", 1),
+        ]
+
+    def test_spec_roundtrip(self):
+        grid = tiny_grid()
+        again = SweepGrid.from_dict(json.loads(json.dumps(grid.to_dict())))
+        assert again == grid
+        assert again.grid_id == grid.grid_id
+
+    def test_spec_rejects_unknown_keys(self):
+        with pytest.raises(ReproError, match="unknown sweep spec"):
+            SweepGrid.from_dict({"configs": ["A"], "policies": ["p"],
+                                 "workloads": [TINY], "bogus": 1})
+
+    def test_spec_rejects_bad_workload_kind(self):
+        with pytest.raises(ReproError, match="kind"):
+            SweepGrid.from_dict({"configs": ["A"], "policies": ["p"],
+                                 "workloads": [{"kind": "nope"}]})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ReproError):
+            SweepGrid(configs=(), policies=("p",), workloads=(TINY,))
+
+    def test_build_workload_kinds(self):
+        assert build_workload(TINY).counts() == {"wifi_tx": 1}
+        assert build_workload(rate_sweep(4.0)).injection_rate_per_ms() > 0
+        assert build_workload(table_ii_sweep(1.71)).size == 171
+        with pytest.raises(ReproError, match="unknown workload"):
+            build_workload({"kind": "bogus"})
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("abc") is None
+        cache.put("abc", {"makespan_ms": 1.5})
+        assert cache.get("abc") == {"makespan_ms": 1.5}
+        assert "abc" in cache and len(cache) == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("bad").write_text("{truncated", encoding="utf-8")
+        assert cache.get("bad") is None
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("old").write_text(
+            json.dumps({"version": -1, "metrics": {"x": 1}}), encoding="utf-8"
+        )
+        assert cache.get("old") is None
+
+    def test_discard_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", {})
+        cache.put("b", {})
+        assert cache.discard("a") and not cache.discard("a")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestJournal:
+    def test_append_and_replay(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(journal_mod.EVENT_CELL_START, cell_id="a")
+            journal.append(journal_mod.EVENT_CELL_FINISH, cell_id="a")
+            journal.append(journal_mod.EVENT_CELL_START, cell_id="b")
+            journal.append(journal_mod.EVENT_CELL_ERROR, cell_id="c")
+        state = journal_mod.replay(path)
+        assert state.completed == {"a"}
+        assert state.incomplete == {"b", "c"}
+        assert state.errored == {"c": 1}
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(journal_mod.EVENT_CELL_FINISH, cell_id="a")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "cell_finish", "cell_id": "tor')  # torn write
+        assert journal_mod.replay(path).completed == {"a"}
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert journal_mod.replay(tmp_path / "nope.jsonl").events == 0
+
+    def test_resume_appends(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(journal_mod.EVENT_CELL_FINISH, cell_id="a")
+        with Journal(path, resume=True) as journal:
+            journal.append(journal_mod.EVENT_CELL_FINISH, cell_id="b")
+        assert journal_mod.replay(path).completed == {"a", "b"}
+
+
+class TestCampaignInline:
+    def test_results_in_grid_order(self):
+        grid = tiny_grid()
+        campaign = run_campaign(grid)
+        assert [r.cell.config for r in campaign] == ["2C+1F", "2C+1F",
+                                                     "3C+0F", "3C+0F"]
+        assert campaign.ok and campaign.executed == 4
+        for res in campaign:
+            assert res.metrics["makespan_ms"] > 0
+            assert res.metrics["tasks"] == 7
+            assert res.metrics["total_energy_j"] > 0
+
+    def test_second_run_is_fully_cached(self, tmp_path):
+        grid = tiny_grid()
+        first = run_campaign(grid, out_dir=tmp_path)
+        assert first.executed == 4 and first.cached_hits == 0
+        second = run_campaign(grid, out_dir=tmp_path, resume=True)
+        assert second.executed == 0 and second.cached_hits == 4
+        # cached metrics identical to freshly computed ones
+        for a, b in zip(first, second):
+            assert a.metrics["makespan_us_runs"] == b.metrics["makespan_us_runs"]
+
+    def test_force_recomputes(self, tmp_path):
+        grid = tiny_grid(configs=("2C+1F",), policies=("frfs",))
+        run_campaign(grid, out_dir=tmp_path)
+        again = run_campaign(grid, out_dir=tmp_path, force=True)
+        assert again.executed == 1 and again.cached_hits == 0
+
+    def test_failed_cell_is_isolated(self):
+        grid = SweepGrid(configs=("2C+1F",), policies=("frfs", "no_such_policy"),
+                         workloads=(TINY,))
+        campaign = run_campaign(grid, retries=0)
+        by_policy = {r.cell.policy: r for r in campaign}
+        assert by_policy["frfs"].ok
+        assert not by_policy["no_such_policy"].ok
+        assert "no_such_policy" in by_policy["no_such_policy"].error
+        assert not campaign.ok
+
+    def test_bounded_retry_then_success(self, monkeypatch):
+        real = runner_mod.execute_cell
+        calls = {"n": 0}
+
+        def flaky(cell_data):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real(cell_data)
+
+        monkeypatch.setattr(runner_mod, "execute_cell", flaky)
+        grid = tiny_grid(configs=("2C+1F",), policies=("frfs",))
+        campaign = run_campaign(grid, retries=1)
+        assert campaign.ok
+        assert campaign.results[0].attempts == 2
+
+    def test_results_json_written(self, tmp_path):
+        run_campaign(tiny_grid(), out_dir=tmp_path)
+        doc = json.loads((tmp_path / "results.json").read_text())
+        assert doc["summary"]["cells"] == 4
+        assert len(doc["cells"]) == 4
+        assert all(c["status"] == "ok" for c in doc["cells"])
+
+
+class TestCrashResume:
+    def test_resume_requeues_only_incomplete_cells(self, tmp_path, monkeypatch):
+        """Kill a campaign mid-flight; resuming re-runs only what's left."""
+        grid = tiny_grid()  # 4 cells
+        real = runner_mod.execute_cell
+        calls = {"n": 0}
+
+        def dies_after_two(cell_data):
+            if calls["n"] >= 2:
+                raise KeyboardInterrupt  # simulated SIGINT mid-campaign
+            calls["n"] += 1
+            return real(cell_data)
+
+        monkeypatch.setattr(runner_mod, "execute_cell", dies_after_two)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(grid, out_dir=tmp_path)
+
+        state = journal_mod.replay(tmp_path / "journal.jsonl")
+        assert len(state.completed) == 2
+        assert len(state.incomplete) == 1  # the cell that was started
+
+        monkeypatch.setattr(runner_mod, "execute_cell", real)
+        executed = []
+
+        def spy(cell_data):
+            executed.append(cell_data["config"] + "/" + cell_data["policy"])
+            return real(cell_data)
+
+        monkeypatch.setattr(runner_mod, "execute_cell", spy)
+        campaign = run_campaign(grid, out_dir=tmp_path, resume=True)
+        assert campaign.ok
+        assert campaign.cached_hits == 2
+        assert len(executed) == 2  # only the incomplete cells re-ran
+        # journal now shows the whole campaign complete
+        state = journal_mod.replay(tmp_path / "journal.jsonl")
+        assert len(state.completed) == 4
+        assert state.incomplete == set()
+
+
+class TestPareto:
+    def test_hand_built_frontier(self):
+        points = [(1.0, 10.0), (2.0, 5.0), (3.0, 1.0), (2.0, 9.0), (4.0, 4.0)]
+        assert sorted(pareto_frontier(points)) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self):
+        points = [(1.0, 2.0), (1.0, 2.0), (2.0, 2.0)]
+        assert sorted(pareto_frontier(points)) == [0, 1]
+
+    def test_single_and_empty(self):
+        assert pareto_frontier([(5.0, 5.0)]) == [0]
+        assert pareto_frontier([]) == []
+
+    def test_dominated_on_one_axis(self):
+        # same makespan, more energy -> dominated
+        assert sorted(pareto_frontier([(1.0, 1.0), (1.0, 2.0)])) == [0]
+
+    def test_frontier_rows_skip_failed_cells(self):
+        rows = [
+            {"label": "good", "makespan_ms": 1.0, "total_energy_j": 2.0},
+            {"label": "failed", "makespan_ms": None, "total_energy_j": None},
+            {"label": "worse", "makespan_ms": 2.0, "total_energy_j": 3.0},
+        ]
+        annotated = frontier_rows(rows)
+        assert [r["pareto"] for r in annotated] == [True, False, False]
+
+    def test_best_by(self):
+        rows = [{"makespan_ms": 3.0}, {"makespan_ms": 1.0}, {"makespan_ms": None}]
+        assert best_by(rows)["makespan_ms"] == 1.0
+        assert best_by([{"makespan_ms": None}]) is None
+
+    def test_campaign_frontier_end_to_end(self):
+        campaign = run_campaign(tiny_grid())
+        annotated = campaign.frontier()
+        assert len(annotated) == 4
+        assert any(r["pareto"] for r in annotated)
+        # frontier members must not dominate each other
+        members = [r for r in annotated if r["pareto"]]
+        for a in members:
+            for b in members:
+                if a is b:
+                    continue
+                dominates = (
+                    a["makespan_ms"] <= b["makespan_ms"]
+                    and a["total_energy_j"] <= b["total_energy_j"]
+                    and (
+                        a["makespan_ms"] < b["makespan_ms"]
+                        or a["total_energy_j"] < b["total_energy_j"]
+                    )
+                )
+                assert not dominates

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.appmodel.jsonspec import graph_from_json, graph_to_json
 from repro.apps.kernels import coding, crc, fftops, pilots

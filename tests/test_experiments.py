@@ -15,7 +15,6 @@ from repro.experiments.case_study_2 import (
     run_table_i,
 )
 from repro.experiments.case_study_3 import (
-    check_fig11_shape,
     render_fig11,
     run_fig11,
 )

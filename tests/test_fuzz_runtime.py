@@ -9,8 +9,6 @@ respected in time, no PE overlaps tasks, and the stats are self-consistent.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

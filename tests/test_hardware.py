@@ -18,8 +18,6 @@ from repro.hardware.config import AffinityPlan, parse_config
 from repro.hardware.dma import DMAModel, DmaBuffer
 from repro.hardware.pe import PE_BIG, PE_CPU, PE_FFT, PE_LITTLE, PEType, PEKind
 from repro.hardware.perfmodel import (
-    ACCEL_FFT_POINTS,
-    REFERENCE_KERNEL_TIMES_US,
     PerformanceModel,
     SchedulerCostModel,
 )

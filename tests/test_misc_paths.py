@@ -3,7 +3,6 @@ thread pinning, engine introspection, and error surfaces."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ApplicationSpecError, EmulationError

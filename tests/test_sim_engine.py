@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import EmulationError
-from repro.sim import AllOf, AnyOf, Engine, Event, Interrupt, Timeout
+from repro.sim import AllOf, AnyOf, Engine, Event, Interrupt
 
 
 class TestEventBasics:
