@@ -59,9 +59,32 @@ def cmd_run(args: argparse.Namespace) -> int:
         jitter=not args.no_jitter,
         seed=args.seed,
     )
-    result = emu.run(
-        validation_workload(_parse_apps(args.apps)), _backend(args.backend)
-    )
+    workload = validation_workload(_parse_apps(args.apps))
+    backend = _backend(args.backend)
+    if args.profile:
+        # Profile the emulation phase only: workload construction and the
+        # initialization phase (build_session) stay outside the profile so
+        # the pstats file shows the DES hot loop, not JSON parsing.
+        import cProfile
+
+        from repro.runtime.emulation import EmulationResult
+
+        session = emu.build_session(workload)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        stats = backend.run(session)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        result = EmulationResult(
+            stats=stats,
+            instances=session.instances,
+            workload=workload,
+            config_label=emu.config.describe(),
+            policy=session.scheduler.name,
+        )
+        print(f"profile written to {args.profile}", file=sys.stderr)
+    else:
+        result = emu.run(workload, backend)
     if args.json:
         from repro.analysis.trace_export import records_as_dicts
 
@@ -199,6 +222,51 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf benchmark suite; write a BENCH_<timestamp>.json report."""
+    from repro.perf import (
+        compare_reports,
+        format_report,
+        load_report,
+        run_suite,
+        scenario_names,
+        write_report,
+    )
+
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+    names = _parse_list(args.scenario) if args.scenario else None
+    quiet = args.json
+
+    def progress(done: int, total: int, name: str) -> None:
+        if not quiet:
+            print(f"[{done + 1}/{total}] {name} ...", file=sys.stderr)
+
+    doc = run_suite(
+        names,
+        reps=args.reps,
+        warmup=args.warmup,
+        quick=args.quick,
+        progress=progress,
+    )
+    path = None
+    if not args.no_write:
+        path = write_report(doc, out_dir=args.out)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(format_report(doc))
+    if args.baseline:
+        base = load_report(args.baseline)
+        print()
+        print(compare_reports(base, doc))
+    if path is not None:
+        print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name
     if name == "table1":
@@ -284,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true",
                        help="print summary + full task schedule as one JSON "
                             "document (machine-readable stdout)")
+    run_p.add_argument("--profile", default="",
+                       help="dump a cProfile pstats file of the emulation "
+                            "phase (excludes workload construction)")
     run_p.set_defaults(fn=cmd_run)
 
     perf_p = sub.add_parser("perf", help="performance-mode emulation")
@@ -338,6 +409,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--json", action="store_true",
                          help="print the campaign result set as JSON")
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    bench_p = sub.add_parser(
+        "bench", help="measure emulator throughput on canonical scenarios"
+    )
+    bench_p.add_argument("--scenario", default="",
+                         help="comma-separated scenario names (default: all)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small workloads, 1 rep, no warmup (CI smoke)")
+    bench_p.add_argument("--reps", type=int, default=3,
+                         help="timed repetitions per scenario")
+    bench_p.add_argument("--warmup", type=int, default=1,
+                         help="untimed warmup runs per scenario")
+    bench_p.add_argument("--out", default="benchmarks/results",
+                         help="directory for the BENCH_<timestamp>.json report")
+    bench_p.add_argument("--no-write", action="store_true",
+                         help="skip writing the report file")
+    bench_p.add_argument("--baseline", default="",
+                         help="prior BENCH_*.json to print a speedup table "
+                              "against")
+    bench_p.add_argument("--json", action="store_true",
+                         help="print the report document as JSON on stdout")
+    bench_p.add_argument("--list", action="store_true",
+                         help="list scenario names and exit")
+    bench_p.set_defaults(fn=cmd_bench)
 
     list_p = sub.add_parser("list", help="show registered apps and policies")
     list_p.set_defaults(fn=cmd_list)

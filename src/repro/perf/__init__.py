@@ -1,0 +1,44 @@
+"""Performance benchmark harness for the emulation framework.
+
+The suite pins down the framework's *own* throughput (host events/sec,
+emulated tasks/sec) on a fixed set of canonical scenarios so that perf
+work is measured, not guessed:
+
+* every optimization to the virtual backend must keep emulation output
+  bit-identical (the exact-vector tests are the oracle) — this harness
+  tracks the *speed* axis;
+* reports are written as ``BENCH_<timestamp>.json`` files, making the
+  perf trajectory a first-class, diffable artifact next to the paper
+  reproduction artifacts.
+
+Entry points: ``dssoc-emulate bench`` (CLI) or :func:`run_suite` /
+:func:`compare_reports` (programmatic).
+"""
+
+from repro.perf.harness import (
+    compare_reports,
+    format_report,
+    load_report,
+    run_scenario,
+    run_suite,
+    write_report,
+)
+from repro.perf.scenarios import (
+    BenchScenario,
+    SCENARIOS,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "BenchScenario",
+    "SCENARIOS",
+    "compare_reports",
+    "format_report",
+    "get_scenario",
+    "load_report",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+    "write_report",
+]

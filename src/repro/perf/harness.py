@@ -1,0 +1,206 @@
+"""Measurement harness: warmup + repetitions → ``BENCH_<timestamp>.json``.
+
+The report schema (``dssoc-bench/v1``) is documented in
+``docs/performance.md``.  Wall times are reported as the median across
+repetitions (min and all samples are kept for inspection); events/sec
+and tasks/sec derive from the median so one noisy rep cannot flatter or
+slander a commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.perf.scenarios import SCENARIOS, get_scenario
+
+SCHEMA = "dssoc-bench/v1"
+DEFAULT_OUT_DIR = "benchmarks/results"
+
+
+def run_scenario(name: str, *, reps: int = 3, warmup: int = 1,
+                 quick: bool = False) -> dict:
+    """Run one scenario ``warmup + reps`` times; return its report entry."""
+    if reps < 1:
+        raise ReproError("bench needs at least one repetition")
+    scenario = get_scenario(name)
+    for _ in range(warmup):
+        scenario.run_once(quick=quick)
+    samples = [scenario.run_once(quick=quick) for _ in range(reps)]
+    walls = [s["wall_s"] for s in samples]
+    wall_median = statistics.median(walls)
+    ref = samples[0]
+    for s in samples[1:]:
+        if (s["events"], s["tasks"], s["makespan_ms"]) != (
+            ref["events"], ref["tasks"], ref["makespan_ms"]
+        ):
+            raise ReproError(
+                f"scenario {name!r} is nondeterministic across repetitions"
+            )
+    entry = dict(scenario.spec(quick=quick))
+    entry.update(
+        {
+            "reps": reps,
+            "warmup": warmup,
+            "wall_s_median": round(wall_median, 6),
+            "wall_s_min": round(min(walls), 6),
+            "wall_s_all": [round(w, 6) for w in walls],
+            "events": ref["events"],
+            "events_per_sec": round(ref["events"] / wall_median, 1),
+            "tasks": ref["tasks"],
+            "tasks_per_sec": round(ref["tasks"] / wall_median, 1),
+            "apps_completed": ref["apps"],
+            "makespan_ms": ref["makespan_ms"],
+            "sched_invocations": ref["sched_invocations"],
+        }
+    )
+    return entry
+
+
+def run_suite(names: list[str] | None = None, *, reps: int = 3,
+              warmup: int = 1, quick: bool = False,
+              progress=None) -> dict:
+    """Run the suite (or a subset) and return the full report document."""
+    if quick:
+        reps, warmup = min(reps, 1), 0
+    selected = names if names else [s.name for s in SCENARIOS]
+    scenarios: dict[str, dict] = {}
+    for i, name in enumerate(selected):
+        if progress is not None:
+            progress(i, len(selected), name)
+        scenarios[name] = run_scenario(
+            name, reps=reps, warmup=warmup, quick=quick
+        )
+    total_wall = sum(s["wall_s_median"] for s in scenarios.values())
+    total_events = sum(s["events"] for s in scenarios.values())
+    total_tasks = sum(s["tasks"] for s in scenarios.values())
+    return {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": _platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "git_commit": _git_commit(),
+        "scenarios": scenarios,
+        "totals": {
+            "wall_s": round(total_wall, 6),
+            "events": total_events,
+            "events_per_sec": round(total_events / total_wall, 1)
+            if total_wall > 0
+            else 0.0,
+            "tasks": total_tasks,
+            "tasks_per_sec": round(total_tasks / total_wall, 1)
+            if total_wall > 0
+            else 0.0,
+        },
+    }
+
+
+def write_report(doc: dict, out_dir: str | Path = DEFAULT_OUT_DIR) -> Path:
+    """Persist a report as ``BENCH_<timestamp>.json``; returns the path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    path = out / f"BENCH_{stamp}.json"
+    n = 1
+    while path.exists():  # same-second reruns
+        path = out / f"BENCH_{stamp}_{n}.json"
+        n += 1
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ReproError(f"{path}: not a {SCHEMA} report")
+    return doc
+
+
+def format_report(doc: dict) -> str:
+    """Human-readable table for one report."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for name, s in doc["scenarios"].items():
+        rows.append(
+            [
+                name,
+                s["policy"],
+                s["config"],
+                f"{s['wall_s_median']:.3f}",
+                f"{s['events_per_sec']:,.0f}",
+                f"{s['tasks_per_sec']:,.0f}",
+                s["tasks"],
+                f"{s['makespan_ms']:.2f}",
+            ]
+        )
+    title = f"dssoc bench — {doc['created']}"
+    if doc.get("quick"):
+        title += " (quick)"
+    return format_table(
+        ["scenario", "policy", "config", "wall s", "events/s", "tasks/s",
+         "tasks", "makespan ms"],
+        rows,
+        title=title,
+    )
+
+
+def compare_reports(base: dict, new: dict) -> str:
+    """Side-by-side speedup table between two reports (same scenarios)."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for name, b in base["scenarios"].items():
+        n = new["scenarios"].get(name)
+        if n is None:
+            continue
+        if b.get("apps") != n.get("apps") or b.get("rate") != n.get("rate"):
+            rows.append([name, "-", "-", "workload differs"])
+            continue
+        speedup = (
+            b["wall_s_median"] / n["wall_s_median"]
+            if n["wall_s_median"] > 0
+            else float("inf")
+        )
+        rows.append(
+            [
+                name,
+                f"{b['wall_s_median']:.3f}",
+                f"{n['wall_s_median']:.3f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+    return format_table(
+        ["scenario", "base wall s", "new wall s", "speedup"],
+        rows,
+        title=(
+            f"bench compare: {base.get('git_commit', '?')[:12]} -> "
+            f"{new.get('git_commit', '?')[:12]}"
+        ),
+    )
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"

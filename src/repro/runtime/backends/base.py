@@ -35,6 +35,9 @@ class PerfModelOracle:
         # same application share TaskNode objects, so this cache turns the
         # schedulers' hot estimate() calls into dict lookups.
         self._cache: dict[tuple[int, int], float | None] = {}
+        # Second level: the model itself depends only on (runfunc, PE), so
+        # distinct nodes sharing a kernel resolve to one model evaluation.
+        self._runfunc_cache: dict[tuple[str, int], float] = {}
 
     def estimate(self, task: TaskInstance, handler: ResourceHandler) -> float | None:
         node = task.node
@@ -50,13 +53,23 @@ class PerfModelOracle:
         binding = node.binding_for_any(handler.accepted_platforms)
         if binding is None:
             return None
+        # pe_id pins both the PE type and (for accelerators) the device, so
+        # keying on (runfunc, pe_id) is sound and collapses every node that
+        # runs the same kernel onto one model evaluation.
+        key = (binding.runfunc, handler.pe_id)
+        hit = self._runfunc_cache.get(key)
+        if hit is not None:
+            return hit
         pe_type = handler.pe.pe_type
         if pe_type.is_accelerator:
             device = self.devices.get(handler.pe_id)
             if device is None:
                 return None
-            return self.perf_model.service_time(binding.runfunc, pe_type, device)
-        return self.perf_model.cpu_time(binding.runfunc, pe_type)
+            value = self.perf_model.service_time(binding.runfunc, pe_type, device)
+        else:
+            value = self.perf_model.cpu_time(binding.runfunc, pe_type)
+        self._runfunc_cache[key] = value
+        return value
 
 
 _MISS = object()

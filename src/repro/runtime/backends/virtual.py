@@ -33,26 +33,51 @@ from repro.runtime.backends.base import (
 from repro.runtime.handler import ResourceHandler
 from repro.runtime.stats import EmulationStats
 from repro.runtime.workload_manager import WorkloadManagerCore
-from repro.sim.engine import AnyOf, Engine
+from repro.sim.engine import Engine
 from repro.sim.resources import HostCore, Mailbox
 
 _log = get_logger("runtime.backends.virtual")
 
 
 class _Waker:
-    """Level-triggered wakeup: fire() releases the current wait, if any."""
+    """Level-triggered wakeup: fire() releases the current wait, if any.
+
+    The workload manager used to sleep on ``AnyOf([wait, arrival_timer])``,
+    which costs an AnyOf allocation plus an extra event hop per pass.  Now
+    the WM yields the wait event directly and arrival timers call
+    :meth:`wake` straight at the waker.  To keep event ordering
+    bit-identical with the AnyOf formulation, :meth:`fire` relays through
+    one ``call_at`` hop — the relay push stands in for the old wait-event
+    push and the wait push stands in for the old AnyOf push, so every
+    same-instant contender sees the same heap sequence as before.
+    """
 
     def __init__(self, engine: Engine) -> None:
         self.engine = engine
-        self._event = None
+        self._wait = None
+        self._relay_pending = False
 
     def wait_event(self):
-        self._event = self.engine.event()
-        return self._event
+        self._wait = self.engine.event()
+        self._relay_pending = False
+        return self._wait
 
     def fire(self) -> None:
-        if self._event is not None and not self._event.triggered:
-            self._event.succeed()
+        wait = self._wait
+        if wait is None or wait.triggered or self._relay_pending:
+            return
+        self._relay_pending = True
+        self.engine.call_at(self.engine.now, self._relay)
+
+    def _relay(self) -> None:
+        self._relay_pending = False
+        self.wake()
+
+    def wake(self) -> None:
+        """Succeed the current wait immediately (arrival-timer path)."""
+        wait = self._wait
+        if wait is not None and not wait.triggered:
+            wait.succeed()
 
 
 class VirtualBackend(ExecutionBackend):
@@ -68,6 +93,8 @@ class VirtualBackend(ExecutionBackend):
         self.quantum_us = quantum_us
         self.switch_cost_us = switch_cost_us
         self.max_events = max_events
+        #: engine counters from the most recent run() (perf harness input)
+        self.last_run_info: dict | None = None
 
     # -- entry point -----------------------------------------------------------------
 
@@ -127,6 +154,11 @@ class VirtualBackend(ExecutionBackend):
             )
         )
         engine.run(max_events=self.max_events)
+        self.last_run_info = {
+            "events_fired": engine.events_fired,
+            "events_scheduled": engine._seq,
+            "final_time_us": engine.now,
+        }
         if not core.all_complete():
             raise EmulationError(
                 f"virtual emulation stalled: {core.apps_completed}/"
@@ -157,17 +189,19 @@ class VirtualBackend(ExecutionBackend):
             # Sleep until something is actionable: a buffered completion or
             # the workload queue's head arrival coming due.
             if not completed and not core.has_due_arrival(engine.now):
-                waiters = [waker.wait_event()]
+                wait = waker.wait_event()
                 nxt = core.next_arrival()
                 if nxt is not None:
-                    waiters.append(engine.schedule_at(max(nxt, engine.now)))
-                yield AnyOf(engine, waiters)
+                    engine.call_at(max(nxt, engine.now), waker.wake)
+                yield wait
                 continue  # re-evaluate state at the wakeup instant
 
             now = engine.now
-            batch = list(completed)
+            # process_completions drains synchronously; nothing can append
+            # mid-call, so hand it the deque and clear afterwards instead
+            # of copying every pass.
+            n_comp = core.process_completions(completed, now)
             completed.clear()
-            n_comp = core.process_completions(batch, now)
             core.inject_due(now)
             ready_len = len(core.ready)
             assignments = core.run_policy(now)

@@ -42,6 +42,12 @@ class ResourceHandler:
 
     def __init__(self, pe: ProcessingElement) -> None:
         self.pe = pe
+        # Immutable PE identity, mirrored as plain attributes: schedulers
+        # read pe_id millions of times per run, and a property indirection
+        # there is measurable in profiles.
+        self.pe_id: int = pe.pe_id
+        self.name: str = pe.name
+        self.type_name: str = pe.type_name
         #: platform-binding names this PE can execute.  A CPU-kind PE also
         #: accepts the generic "cpu" binding (a portable C kernel runs on
         #: any core cluster — this is how the unchanged SDR applications run
@@ -66,18 +72,6 @@ class ResourceHandler:
         self.shutdown = False
 
     # -- properties ------------------------------------------------------------
-
-    @property
-    def pe_id(self) -> int:
-        return self.pe.pe_id
-
-    @property
-    def name(self) -> str:
-        return self.pe.name
-
-    @property
-    def type_name(self) -> str:
-        return self.pe.type_name
 
     @property
     def status(self) -> PEStatus:

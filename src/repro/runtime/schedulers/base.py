@@ -48,6 +48,13 @@ class Scheduler:
 
     def __init__(self, oracle: ExecutionTimeOracle | None = None) -> None:
         self.oracle = oracle
+        # Per-archetype-node row caches over the current handler list (see
+        # estimate_row/support_row).  Keyed by id(node); each entry pins the
+        # node object so the id cannot be recycled.
+        self._row_handlers: list[ResourceHandler] | None = None
+        self._row_oracle: ExecutionTimeOracle | None = None
+        self._est_rows: dict[int, tuple] = {}
+        self._support_rows: dict[int, tuple] = {}
 
     def schedule(
         self,
@@ -59,6 +66,47 @@ class Scheduler:
         raise NotImplementedError
 
     # -- helpers for subclasses ----------------------------------------------------
+
+    def _sync_row_cache(self, handlers: list[ResourceHandler]) -> None:
+        if handlers is not self._row_handlers or self.oracle is not self._row_oracle:
+            self._row_handlers = handlers
+            self._row_oracle = self.oracle
+            self._est_rows = {}
+            self._support_rows = {}
+
+    def estimate_row(
+        self, task: TaskInstance, handlers: list[ResourceHandler]
+    ) -> tuple:
+        """Oracle estimates for ``task`` on every handler, positionally.
+
+        All instances of an application share archetype ``TaskNode``
+        objects and estimates depend only on the node, so the row is
+        computed once per node and thereafter is a single dict lookup —
+        this removes the oracle call from the O(ready × PEs) inner loops.
+        """
+        self._sync_row_cache(handlers)
+        node = task.node
+        hit = self._est_rows.get(id(node))
+        if hit is not None:
+            return hit[1]
+        oracle = self.required_oracle()
+        row = tuple(oracle.estimate(task, h) for h in handlers)
+        self._est_rows[id(node)] = (node, row)
+        return row
+
+    def support_row(
+        self, task, handlers: list[ResourceHandler]
+    ) -> tuple:
+        """Per-handler support flags for ``task``'s node, cached like
+        :meth:`estimate_row` (no oracle required)."""
+        self._sync_row_cache(handlers)
+        node = task.node
+        hit = self._support_rows.get(id(node))
+        if hit is not None:
+            return hit[1]
+        row = tuple(node.supports_any(h.accepted_platforms) for h in handlers)
+        self._support_rows[id(node)] = (node, row)
+        return row
 
     @staticmethod
     def idle_handlers(handlers: list[ResourceHandler]) -> list[ResourceHandler]:

@@ -25,41 +25,49 @@ class EFTScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
-        oracle = self.required_oracle()
-        # Availability estimates: idle PEs are free now; busy PEs free at
-        # their tracked estimate (never in the past).
-        avail: dict[int, float] = {}
-        idle_now: dict[int, bool] = {}
+        # Availability estimates, positional over ``handlers``: idle PEs are
+        # free now; busy PEs free at their tracked estimate (never in the
+        # past).  Positional arrays + cached estimate rows keep the
+        # quadratic inner loop allocation- and lookup-free.
+        avail: list[float] = []
+        idle_now: list[bool] = []
+        idle_remaining = 0
         for h in handlers:
-            is_idle = h.status is PEStatus.IDLE
-            idle_now[h.pe_id] = is_idle
-            avail[h.pe_id] = now if is_idle else max(h.estimated_free_time, now)
-        dispatched: dict[int, bool] = {h.pe_id: False for h in handlers}
-        idle_remaining = sum(1 for v in idle_now.values() if v)
+            if h.status is PEStatus.IDLE:
+                idle_now.append(True)
+                avail.append(now)
+                idle_remaining += 1
+            else:
+                idle_now.append(False)
+                free = h.estimated_free_time
+                avail.append(free if free > now else now)
+        dispatched = [False] * len(handlers)
         assignments: list[Assignment] = []
+        estimate_row = self.estimate_row
+        inf = float("inf")
         for task in ready:
             # Once every idle PE has been dispatched, later bookings cannot
             # change any observable outcome of this pass — skip them.  (The
             # *modeled* overhead still charges the full O(n^2) scan.)
             if idle_remaining == 0:
                 break
-            best_handler: ResourceHandler | None = None
-            best_finish = float("inf")
-            for h in handlers:
-                est = oracle.estimate(task, h)
+            row = estimate_row(task, handlers)
+            best_i = -1
+            best_finish = inf
+            for i, est in enumerate(row):
                 if est is None:
                     continue
-                finish = avail[h.pe_id] + est
+                finish = avail[i] + est
                 if finish < best_finish:
                     best_finish = finish
-                    best_handler = h
-            if best_handler is None:
+                    best_i = i
+            if best_i < 0:
                 continue
             # Book the task on the chosen PE either way; dispatch only if
             # the PE is genuinely idle and not already taken this pass.
-            avail[best_handler.pe_id] = best_finish
-            if idle_now[best_handler.pe_id] and not dispatched[best_handler.pe_id]:
-                dispatched[best_handler.pe_id] = True
+            avail[best_i] = best_finish
+            if idle_now[best_i] and not dispatched[best_i]:
+                dispatched[best_i] = True
                 idle_remaining -= 1
-                assignments.append(Assignment(task, best_handler))
+                assignments.append(Assignment(task, handlers[best_i]))
         return assignments

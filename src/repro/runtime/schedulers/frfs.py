@@ -10,7 +10,7 @@ of ready-queue length — the property that makes FRFS win Fig. 10.
 from __future__ import annotations
 
 from repro.appmodel.instance import TaskInstance
-from repro.runtime.handler import ResourceHandler
+from repro.runtime.handler import PEStatus, ResourceHandler
 from repro.runtime.schedulers.base import Assignment, Scheduler
 
 
@@ -23,21 +23,23 @@ class FRFSScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
-        idle = self.idle_handlers(handlers)
+        # (position-in-handlers, handler) pairs; removing a dispatched PE
+        # keeps the remaining idle PEs in original order, so "first idle
+        # supporting PE" is unchanged.
+        idle = [
+            (i, h) for i, h in enumerate(handlers) if h.status is PEStatus.IDLE
+        ]
         if not idle:
             return []
         assignments: list[Assignment] = []
-        taken = [False] * len(idle)
-        remaining = len(idle)
+        support_row = self.support_row
         for task in ready:
-            if remaining == 0:
+            if not idle:
                 break
-            for i, handler in enumerate(idle):
-                if taken[i]:
-                    continue
-                if task.supports_pe(handler):
+            row = support_row(task, handlers)
+            for pos, (i, handler) in enumerate(idle):
+                if row[i]:
                     assignments.append(Assignment(task, handler))
-                    taken[i] = True
-                    remaining -= 1
+                    del idle[pos]
                     break
         return assignments

@@ -67,42 +67,48 @@ class HEFTScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
-        oracle = self.required_oracle()
         prioritized = sorted(
             ready,
             key=lambda t: -self._ranks(t.app.graph, handlers)[t.name],
         )
-        avail: dict[int, float] = {}
-        idle_now: dict[int, bool] = {}
+        avail: list[float] = []
+        idle_now: list[bool] = []
+        idle_remaining = 0
         for h in handlers:
-            is_idle = h.status is PEStatus.IDLE
-            idle_now[h.pe_id] = is_idle
-            avail[h.pe_id] = now if is_idle else max(h.estimated_free_time, now)
-        taken: set[int] = set()
-        idle_remaining = sum(1 for v in idle_now.values() if v)
+            if h.status is PEStatus.IDLE:
+                idle_now.append(True)
+                avail.append(now)
+                idle_remaining += 1
+            else:
+                idle_now.append(False)
+                free = h.estimated_free_time
+                avail.append(free if free > now else now)
+        dispatched = [False] * len(handlers)
         assignments: list[Assignment] = []
+        estimate_row = self.estimate_row
+        inf = float("inf")
         for task in prioritized:
             # As in EFT: bookings after the last idle PE is taken have no
             # observable effect on this pass.
             if idle_remaining == 0:
                 break
-            best_handler = None
-            best_finish = float("inf")
-            for h in handlers:
-                est = oracle.estimate(task, h)
+            row = estimate_row(task, handlers)
+            best_i = -1
+            best_finish = inf
+            for i, est in enumerate(row):
                 if est is None:
                     continue
-                finish = avail[h.pe_id] + est
+                finish = avail[i] + est
                 if finish < best_finish:
                     best_finish = finish
-                    best_handler = h
-            if best_handler is None:
+                    best_i = i
+            if best_i < 0:
                 continue
-            avail[best_handler.pe_id] = best_finish
-            if idle_now[best_handler.pe_id] and best_handler.pe_id not in taken:
-                taken.add(best_handler.pe_id)
+            avail[best_i] = best_finish
+            if idle_now[best_i] and not dispatched[best_i]:
+                dispatched[best_i] = True
                 idle_remaining -= 1
-                assignments.append(Assignment(task, best_handler))
+                assignments.append(Assignment(task, handlers[best_i]))
         return assignments
 
 

@@ -15,7 +15,7 @@ advantage.
 from __future__ import annotations
 
 from repro.appmodel.instance import TaskInstance
-from repro.runtime.handler import ResourceHandler
+from repro.runtime.handler import PEStatus, ResourceHandler
 from repro.runtime.schedulers.base import Assignment, Scheduler
 
 
@@ -31,27 +31,32 @@ class METScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
-        idle = self.idle_handlers(handlers)
-        if not idle:
+        # (position-in-handlers, handler) pairs so cached estimate rows can
+        # be indexed positionally as the idle pool shrinks.
+        available = [
+            (i, h) for i, h in enumerate(handlers) if h.status is PEStatus.IDLE
+        ]
+        if not available:
             return []
-        oracle = self.required_oracle()
-        available = list(idle)
+        estimate_row = self.estimate_row
+        cost = self._cost
         assignments: list[Assignment] = []
         for task in ready:
             if not available:
                 break
+            row = estimate_row(task, handlers)
             best: tuple[float, int] | None = None
-            best_idx = -1
-            for i, handler in enumerate(available):
-                est = oracle.estimate(task, handler)
+            best_pos = -1
+            for pos, (i, handler) in enumerate(available):
+                est = row[i]
                 if est is None:
                     continue
-                key = (self._cost(task, handler, est), handler.pe_id)
+                key = (cost(task, handler, est), handler.pe_id)
                 if best is None or key < best:
                     best = key
-                    best_idx = i
-            if best_idx >= 0:
-                handler = available.pop(best_idx)
+                    best_pos = pos
+            if best_pos >= 0:
+                _i, handler = available.pop(best_pos)
                 assignments.append(Assignment(task, handler))
         return assignments
 

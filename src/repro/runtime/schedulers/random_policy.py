@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.appmodel.instance import TaskInstance
 from repro.common.rng import default_rng
-from repro.runtime.handler import ResourceHandler
+from repro.runtime.handler import PEStatus, ResourceHandler
 from repro.runtime.schedulers.base import Assignment, ExecutionTimeOracle, Scheduler
 
 
@@ -27,16 +27,22 @@ class RandomScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
-        available = self.idle_handlers(handlers)
+        available = [
+            (i, h) for i, h in enumerate(handlers) if h.status is PEStatus.IDLE
+        ]
         assignments: list[Assignment] = []
+        support_row = self.support_row
         for task in ready:
             if not available:
                 break
+            row = support_row(task, handlers)
+            # Candidate positions within ``available`` match the unoptimized
+            # enumeration exactly, so the RNG draw sequence is unchanged.
             candidates = [
-                i for i, h in enumerate(available) if task.supports_pe(h)
+                pos for pos, (i, _h) in enumerate(available) if row[i]
             ]
             if not candidates:
                 continue
             pick = candidates[int(self.rng.integers(len(candidates)))]
-            assignments.append(Assignment(task, available.pop(pick)))
+            assignments.append(Assignment(task, available.pop(pick)[1]))
         return assignments

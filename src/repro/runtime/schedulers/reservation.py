@@ -42,41 +42,44 @@ class ReservationEFTScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
-        oracle = self.required_oracle()
-        avail: dict[int, float] = {}
-        slots: dict[int, int] = {}
+        avail: list[float] = []
+        slots: list[int] = []
+        open_slots = 0
+        depth = self.queue_depth
         for h in handlers:
             if h.status is PEStatus.IDLE:
-                avail[h.pe_id] = now
-                slots[h.pe_id] = self.queue_depth
+                avail.append(now)
+                free_slots = depth
             else:
-                avail[h.pe_id] = max(h.estimated_free_time, now)
-                slots[h.pe_id] = max(
-                    0, self.queue_depth - 1 - len(h.reservation_queue)
-                )
-        open_slots = sum(slots.values())
+                free = h.estimated_free_time
+                avail.append(free if free > now else now)
+                free_slots = depth - 1 - len(h.reservation_queue)
+                if free_slots < 0:
+                    free_slots = 0
+            slots.append(free_slots)
+            open_slots += free_slots
         assignments: list[Assignment] = []
+        estimate_row = self.estimate_row
+        inf = float("inf")
         for task in ready:
             if open_slots == 0:
                 break
-            best_handler = None
-            best_finish = float("inf")
-            for h in handlers:
-                if slots[h.pe_id] <= 0:
+            row = estimate_row(task, handlers)
+            best_i = -1
+            best_finish = inf
+            for i, est in enumerate(row):
+                if est is None or slots[i] <= 0:
                     continue
-                est = oracle.estimate(task, h)
-                if est is None:
-                    continue
-                finish = avail[h.pe_id] + est
+                finish = avail[i] + est
                 if finish < best_finish:
                     best_finish = finish
-                    best_handler = h
-            if best_handler is None:
+                    best_i = i
+            if best_i < 0:
                 continue
-            avail[best_handler.pe_id] = best_finish
-            slots[best_handler.pe_id] -= 1
+            avail[best_i] = best_finish
+            slots[best_i] -= 1
             open_slots -= 1
-            assignments.append(Assignment(task, best_handler))
+            assignments.append(Assignment(task, handlers[best_i]))
         return assignments
 
 
@@ -102,26 +105,27 @@ class ReservationFRFSScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
-        load: dict[int, int] = {}
-        for h in handlers:
-            if h.status is PEStatus.IDLE:
-                load[h.pe_id] = 0
-            else:
-                load[h.pe_id] = 1 + len(h.reservation_queue)
+        load = [
+            0 if h.status is PEStatus.IDLE else 1 + len(h.reservation_queue)
+            for h in handlers
+        ]
         assignments: list[Assignment] = []
+        support_row = self.support_row
+        depth = self.queue_depth
         for task in ready:
-            best_handler = None
-            best_load = self.queue_depth  # exclusive bound
-            for h in handlers:
-                if load[h.pe_id] >= best_load:
+            row = support_row(task, handlers)
+            best_i = -1
+            best_load = depth  # exclusive bound
+            for i, pe_load in enumerate(load):
+                if pe_load >= best_load:
                     continue
-                if task.supports_pe(h):
-                    best_handler = h
-                    best_load = load[h.pe_id]
-                    if best_load == 0:
+                if row[i]:
+                    best_i = i
+                    best_load = pe_load
+                    if pe_load == 0:
                         break
-            if best_handler is None:
+            if best_i < 0:
                 continue
-            load[best_handler.pe_id] += 1
-            assignments.append(Assignment(task, best_handler))
+            load[best_i] += 1
+            assignments.append(Assignment(task, handlers[best_i]))
         return assignments

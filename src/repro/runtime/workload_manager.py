@@ -10,6 +10,8 @@ workload-manager pass.
 
 from __future__ import annotations
 
+from itertools import islice
+
 from repro.appmodel.instance import ApplicationInstance, TaskInstance
 from repro.common.errors import EmulationError
 from repro.runtime.handler import PEStatus, ResourceHandler
@@ -21,34 +23,63 @@ class ReadyList:
     """The ready task list, tuned for the WM's access pattern.
 
     Policies iterate it in FIFO order and read its length; the WM removes
-    the dispatched tasks each pass.  Removals are recorded in a tombstone
-    set and compacted lazily once they outnumber live entries, making each
-    pass O(live + dispatched) amortized instead of O(queue length).
+    the dispatched tasks each pass.  FIFO policies dispatch from the front,
+    so removals are consumed two ways: a ``_start`` offset swallows the
+    contiguous dead prefix immediately (the common case), and the rare
+    mid-list removal sits in a tombstone set compacted lazily once the
+    tombstones outnumber live entries.  Iteration is therefore a plain
+    slice walk — no per-item id() filtering — while each pass stays
+    O(live + dispatched) amortized instead of O(queue length).
     """
 
-    __slots__ = ("_items", "_dead", "_ids")
+    __slots__ = ("_items", "_start", "_dead", "_ids")
 
     def __init__(self) -> None:
         self._items: list[TaskInstance] = []
+        self._start = 0
         self._dead: set[int] = set()
         self._ids: set[int] = set()
 
     def extend(self, tasks: list[TaskInstance]) -> None:
         self._items.extend(tasks)
-        self._ids.update(id(t) for t in tasks)
+        self._ids.update(map(id, tasks))
 
     def remove_ids(self, ids: set[int]) -> None:
         self._dead |= ids
         self._ids -= ids
-        if len(self._dead) > max(64, len(self._ids)):
-            self._items = [t for t in self._items if id(t) not in self._dead]
-            self._dead.clear()
+        items, dead = self._items, self._dead
+        start, n = self._start, len(items)
+        while start < n and id(items[start]) in dead:
+            dead.remove(id(items[start]))
+            start += 1
+        self._start = start
+        if start > 64 and start * 2 > n:
+            del items[:start]
+            self._start = 0
+        if len(dead) > max(64, len(self._ids)):
+            self._compact()
+
+    def _compact(self) -> None:
+        items = self._items
+        if self._start:
+            items = items[self._start:]
+            self._start = 0
+        dead = self._dead
+        if dead:
+            items = [t for t in items if id(t) not in dead]
+            dead.clear()
+        self._items = items
 
     def __iter__(self):
+        start = self._start
         dead = self._dead
         if not dead:
-            return iter(self._items)
-        return (t for t in self._items if id(t) not in dead)
+            if start == 0:
+                return iter(self._items)
+            return islice(self._items, start, None)
+        return (
+            t for t in islice(self._items, start, None) if id(t) not in dead
+        )
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -107,11 +138,16 @@ class WorkloadManagerCore:
 
     # -- the three steps of a WM pass -----------------------------------------------
 
-    def process_completions(
-        self, completions: list[tuple[ResourceHandler, TaskInstance]], now: float
-    ) -> int:
-        """Monitor step: bookkeep finished tasks, release PEs, grow ready list."""
+    def process_completions(self, completions, now: float) -> int:
+        """Monitor step: bookkeep finished tasks, release PEs, grow ready list.
+
+        ``completions`` is any iterable of ``(handler, task)`` pairs; it is
+        consumed synchronously, so backends can pass their live buffer and
+        clear it afterwards instead of copying.
+        """
+        n = 0
         for handler, task in completions:
+            n += 1
             # Plain-dispatch PEs park in COMPLETE until acknowledged here;
             # self-serving (reservation) PEs manage their own status.
             if handler.status is PEStatus.COMPLETE:
@@ -128,7 +164,7 @@ class WorkloadManagerCore:
             if task.app.is_complete:
                 self.apps_completed += 1
                 self.stats.record_app_completion(task.app)
-        return len(completions)
+        return n
 
     def inject_due(self, now: float) -> int:
         """Injection step: move arrived applications into the emulation."""

@@ -18,7 +18,7 @@ from collections import deque
 from typing import Any
 
 from repro.common.errors import EmulationError
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import _FIRED, _SCHEDULED, Engine, Event
 
 
 class FifoResource:
@@ -102,31 +102,121 @@ class HostCore:
         """Sub-generator: charge ``duration`` µs of work (pre-speed-scaling).
 
         The nominal ``duration`` is divided by the core's ``speed`` to get
-        core time, then executed in quanta with preemption modeling.
+        core time, then executed in quanta with preemption modeling.  The
+        actual charging is driven by a single :class:`_Consume` event that
+        re-pushes itself through the grant/switch/slice states, so the
+        owning process suspends and resumes exactly once per ``consume``
+        regardless of how many quanta the work spans.
         """
         remaining = duration / self.speed
-        engine = self.engine
-        while remaining > 0.0:
-            yield self._token.request()
-            if self._last_owner is not owner and self._last_owner is not None:
-                # Context switch: the core spends switch_cost before the
-                # incoming thread makes progress.
-                self.switch_count += 1
-                self.busy_time += self.switch_cost
-                yield engine.timeout(self.switch_cost)
-            self._last_owner = owner
-            # Fast path: nobody else wants the core — run to completion.
-            if self._token.queue_length == 0:
-                slice_len = remaining
-            else:
-                slice_len = min(self.quantum, remaining)
-            self.busy_time += slice_len
-            yield engine.timeout(slice_len)
-            remaining -= slice_len
-            self._token.release()
+        if remaining > 0.0:
+            yield _Consume(self, owner, remaining)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HostCore({self.name!r}, speed={self.speed})"
+
+
+# _Consume phases: what the next heap pop of the event means.
+_GRANTED = 0   # core slot acquired; decide context switch / slice length
+_SWITCHED = 1  # context-switch charge elapsed; start the slice
+_RAN = 2       # slice elapsed; release and either re-acquire or finish
+
+
+class _Consume(Event):
+    """Single-event fast path behind :meth:`HostCore.consume`.
+
+    The straightforward implementation charges each quantum with a
+    request-event → timeout → release sequence: two generator resumes and
+    two heap entries per quantum even when nobody contends for the core.
+    This event collapses that machinery — it stands in for its own grant
+    notification and its own timer by re-pushing itself onto the heap, and
+    fires (resuming the owning process) only when the full duration has
+    been charged.
+
+    Bit-identical by construction: every decision point (grant, switch
+    charge, slice-length choice, release) happens at the same virtual
+    instant and the same heap position as the unoptimized sequence, so
+    same-time contenders enroll in the FIFO queue in the same order and
+    round-robin slicing degrades identically under contention (the Fig. 9
+    preemption anomaly depends on this).
+    """
+
+    __slots__ = ("core", "owner", "remaining", "_phase", "_slice")
+
+    def __init__(self, core: HostCore, owner: object, remaining: float) -> None:
+        engine = core.engine
+        self.engine = engine
+        self.callbacks = []
+        self.value = None
+        self.ok = True
+        self._state = _SCHEDULED
+        self.core = core
+        self.owner = owner
+        self.remaining = remaining
+        self._slice = 0.0
+        self._acquire()
+
+    def _acquire(self) -> None:
+        token = self.core._token
+        if token.in_use < token.capacity:
+            # Uncontended: claim the slot synchronously (exactly what
+            # request() would do) and stand in for the grant event by
+            # scheduling ourselves at the current instant — same heap
+            # position, one less Event allocation, one less resume.
+            token.in_use += 1
+            self._phase = _GRANTED
+            engine = self.engine
+            engine._push(engine.now, self)
+        else:
+            # Contended: enqueue a real waiter event so FifoResource's
+            # FIFO grant order is preserved; its firing is our grant.
+            ev = token.request()
+            ev.callbacks.append(self._granted)
+
+    def _granted(self, _ev: Event | None) -> None:
+        core = self.core
+        if core._last_owner is not self.owner and core._last_owner is not None:
+            # Context switch: the core spends switch_cost before the
+            # incoming thread makes progress.
+            core.switch_count += 1
+            core.busy_time += core.switch_cost
+            self._phase = _SWITCHED
+            engine = self.engine
+            engine._push(engine.now + core.switch_cost, self)
+            return
+        self._start_slice()
+
+    def _start_slice(self) -> None:
+        core = self.core
+        core._last_owner = self.owner
+        remaining = self.remaining
+        # Nobody else wants the core — run to completion in one slice.
+        if core._token.queue_length == 0:
+            slice_len = remaining
+        else:
+            slice_len = remaining if core.quantum > remaining else core.quantum
+        core.busy_time += slice_len
+        self._slice = slice_len
+        self._phase = _RAN
+        engine = self.engine
+        engine._push(engine.now + slice_len, self)
+
+    def _fire(self) -> None:
+        phase = self._phase
+        if phase == _RAN:
+            self.remaining -= self._slice
+            self.core._token.release()
+            if self.remaining > 0.0:
+                self._acquire()
+            else:
+                self._state = _FIRED
+                callbacks, self.callbacks = self.callbacks, []
+                for cb in callbacks:
+                    cb(self)
+        elif phase == _GRANTED:
+            self._granted(None)
+        else:  # _SWITCHED
+            self._start_slice()
 
 
 class Mailbox:
@@ -145,9 +235,15 @@ class Mailbox:
 
     def get(self) -> Event:
         """Event that fires with the next item."""
-        ev = self.engine.event()
+        engine = self.engine
+        ev = Event(engine)
         if self._items:
-            ev.succeed(self._items.popleft())
+            # Fast path: the item is already buffered, so build the event
+            # pre-scheduled instead of going through succeed()'s state
+            # checks — same heap position, less per-call work.
+            ev.value = self._items.popleft()
+            ev._state = _SCHEDULED
+            engine._push(engine.now, ev)
         else:
             self._getters.append(ev)
         return ev

@@ -1,0 +1,135 @@
+"""Tests for the perf benchmark harness (repro.perf) and the bench CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ReproError
+from repro.perf import (
+    SCENARIOS,
+    compare_reports,
+    format_report,
+    get_scenario,
+    load_report,
+    run_scenario,
+    run_suite,
+    scenario_names,
+    write_report,
+)
+from repro.perf.harness import SCHEMA
+
+
+class TestScenarios:
+    def test_registry(self):
+        names = scenario_names()
+        assert "scheduler-stress" in names and "steady-state" in names
+        assert len(names) == len(SCENARIOS) == len(set(names))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ReproError, match="unknown bench scenario"):
+            get_scenario("nope")
+
+    def test_spec_identifies_workload(self):
+        burst = get_scenario("validation-burst").spec()
+        assert burst["mode"] == "validation" and "apps" in burst
+        steady = get_scenario("steady-state").spec()
+        assert steady["mode"] == "table_ii" and "rate" in steady
+        quick = get_scenario("steady-state").spec(quick=True)
+        assert quick["rate"] < steady["rate"]
+
+    def test_run_once_counts_work(self):
+        result = get_scenario("validation-burst").run_once(quick=True)
+        assert result["events"] > 0
+        assert result["tasks"] > 0
+        assert result["apps"] == 5  # quick_apps: 3 + 2
+        assert result["wall_s"] > 0.0
+        assert result["makespan_ms"] > 0.0
+
+
+class TestHarness:
+    def test_run_scenario_entry(self):
+        entry = run_scenario("validation-burst", reps=2, warmup=0, quick=True)
+        assert entry["reps"] == 2
+        assert len(entry["wall_s_all"]) == 2
+        assert entry["wall_s_min"] <= entry["wall_s_median"]
+        assert entry["events_per_sec"] > 0
+        # determinism across repetitions is enforced, so counts are stable
+        assert entry["tasks"] > 0 and entry["apps_completed"] == 5
+
+    def test_zero_reps_rejected(self):
+        with pytest.raises(ReproError):
+            run_scenario("validation-burst", reps=0)
+
+    def test_suite_report_roundtrip(self, tmp_path):
+        doc = run_suite(["validation-burst"], quick=True)
+        assert doc["schema"] == SCHEMA
+        assert doc["quick"] is True
+        assert set(doc["scenarios"]) == {"validation-burst"}
+        assert doc["totals"]["events"] > 0
+        path = write_report(doc, out_dir=tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(doc))  # JSON-clean
+        # same-second rerun gets a distinct filename
+        path2 = write_report(doc, out_dir=tmp_path)
+        assert path2 != path
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        bad = tmp_path / "other.json"
+        bad.write_text("{}", encoding="utf-8")
+        with pytest.raises(ReproError, match="not a"):
+            load_report(bad)
+
+    def test_format_and_compare(self):
+        doc = run_suite(["validation-burst"], quick=True)
+        table = format_report(doc)
+        assert "validation-burst" in table and "(quick)" in table
+        cmp_table = compare_reports(doc, doc)
+        assert "1.00x" in cmp_table
+
+
+class TestBenchCLI:
+    def test_list_scenarios(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler-stress" in out
+
+    def test_quick_json_run(self, capsys, tmp_path):
+        rc = main(
+            ["bench", "--scenario", "validation-burst", "--quick",
+             "--json", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == SCHEMA
+        assert doc["scenarios"]["validation-burst"]["tasks"] > 0
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+
+    def test_no_write_leaves_no_file(self, capsys, tmp_path):
+        rc = main(
+            ["bench", "--scenario", "validation-burst", "--quick",
+             "--no-write", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        assert list(tmp_path.glob("BENCH_*.json")) == []
+        assert "validation-burst" in capsys.readouterr().out
+
+    def test_baseline_comparison(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--scenario", "validation-burst", "--quick",
+             "--out", str(tmp_path)]
+        ) == 0
+        baseline = next(tmp_path.glob("BENCH_*.json"))
+        capsys.readouterr()
+        rc = main(
+            ["bench", "--scenario", "validation-burst", "--quick",
+             "--no-write", "--out", str(tmp_path),
+             "--baseline", str(baseline)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench compare" in out and "speedup" in out

@@ -112,6 +112,14 @@ class TestComposites:
         engine.run()
         assert fired == [(5.0, "fast")]
 
+    def test_anyof_empty_rejected(self):
+        # An empty AnyOf could never fire, so a process waiting on one
+        # would hang the emulation silently; reject it loudly instead.
+        # (An empty AllOf stays valid — vacuously satisfied, see above.)
+        engine = Engine()
+        with pytest.raises(EmulationError, match="AnyOf"):
+            AnyOf(engine, [])
+
 
 class TestProcesses:
     def test_process_advances_through_timeouts(self):

@@ -132,6 +132,72 @@ class TestHostCore:
         assert core.switch_count == 0
 
 
+def reference_consume(core, owner, duration):
+    """The unoptimized HostCore.consume: request -> timeout -> release per
+    quantum.  Kept as the behavioral oracle for the _Consume fast path."""
+    remaining = duration / core.speed
+    engine = core.engine
+    while remaining > 0.0:
+        yield core._token.request()
+        if core._last_owner is not owner and core._last_owner is not None:
+            core.switch_count += 1
+            core.busy_time += core.switch_cost
+            yield engine.timeout(core.switch_cost)
+        core._last_owner = owner
+        if core._token.queue_length == 0:
+            slice_len = remaining
+        else:
+            slice_len = min(core.quantum, remaining)
+        core.busy_time += slice_len
+        yield engine.timeout(slice_len)
+        remaining -= slice_len
+        core._token.release()
+
+
+class TestConsumeFastPathEquivalence:
+    """HostCore.consume's single-event fast path must reproduce the sliced
+    reference implementation's timings exactly — finish times, busy time,
+    and switch counts — under every contention pattern."""
+
+    CASES = [
+        # (jobs, quantum, switch_cost, speed); job = (owner, delay, duration)
+        ([("a", 0.0, 100.0)], 10.0, 5.0, 1.0),
+        ([("a", 0.0, 50.0)], 100.0, 8.0, 0.5),
+        ([("a", 0.0, 30.0), ("b", 0.0, 30.0)], 10.0, 2.0, 1.0),
+        ([("a", 0.0, 95.0), ("b", 3.0, 42.0)], 10.0, 2.0, 1.0),
+        ([("a", 0.0, 25.0), ("b", 0.0, 25.0), ("c", 5.0, 40.0)], 7.0, 1.5, 1.0),
+        ([("a", 0.0, 10.0), ("b", 10.0, 10.0)], 4.0, 3.0, 1.0),
+        ([("a", 0.0, 0.0), ("b", 0.0, 15.0)], 5.0, 2.0, 1.0),
+        ([("a", 0.0, 33.0), ("b", 1.0, 33.0), ("c", 2.0, 33.0)], 100.0, 8.0, 2.0),
+    ]
+
+    def drive(self, consume_fn, jobs, quantum, switch_cost, speed):
+        engine = Engine()
+        core = HostCore(
+            engine, "c0", quantum=quantum, switch_cost=switch_cost, speed=speed
+        )
+        finishes = {}
+
+        def consumer(owner, delay, duration):
+            if delay:
+                yield engine.timeout(delay)
+            yield from consume_fn(core, owner, duration)
+            finishes[owner] = engine.now
+
+        for owner, delay, duration in jobs:
+            engine.process(consumer(owner, delay, duration))
+        engine.run()
+        return finishes, core.busy_time, core.switch_count, engine.now
+
+    @pytest.mark.parametrize("jobs,quantum,switch_cost,speed", CASES)
+    def test_fast_path_matches_reference(self, jobs, quantum, switch_cost, speed):
+        fast = self.drive(
+            lambda c, o, d: c.consume(o, d), jobs, quantum, switch_cost, speed
+        )
+        ref = self.drive(reference_consume, jobs, quantum, switch_cost, speed)
+        assert fast == ref
+
+
 class TestMailbox:
     def test_put_then_get(self):
         engine = Engine()

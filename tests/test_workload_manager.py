@@ -55,6 +55,55 @@ class TestReadyList:
     def test_empty_falsey(self):
         assert not ReadyList()
 
+    def test_iteration_under_tombstones(self):
+        # Mid-list removals (no contiguous dead prefix) stay as tombstones
+        # below the compaction threshold; iteration must skip them without
+        # disturbing the order of survivors.
+        rl = ReadyList()
+        items = [[i] for i in range(20)]
+        rl.extend(items)
+        rl.remove_ids({id(items[i]) for i in (3, 7, 11)})
+        expected = [it for i, it in enumerate(items) if i not in (3, 7, 11)]
+        assert list(rl) == expected
+        assert list(rl) == expected  # iteration is repeatable
+        assert len(rl) == 17
+
+    def test_threshold_compaction_drops_tombstones(self):
+        # Once tombstones outnumber max(64, live), the backing list is
+        # rebuilt and the dead set emptied.
+        rl = ReadyList()
+        items = [[i] for i in range(200)]
+        rl.extend(items)
+        # Remove from the back so the dead-prefix shortcut cannot consume
+        # them; 130 tombstones vs 70 live crosses the max(64, live) bound.
+        rl.remove_ids({id(items[i]) for i in range(70, 200)})
+        assert not rl._dead
+        assert list(rl) == items[:70]
+        assert len(rl) == 70
+
+    def test_reextend_after_compaction(self):
+        rl = ReadyList()
+        first = [[i] for i in range(150)]
+        rl.extend(first)
+        rl.remove_ids({id(it) for it in first})
+        assert len(rl) == 0 and not rl
+        second = [[i] for i in range(5)]
+        rl.extend(second)
+        assert list(rl) == second
+        assert len(rl) == 5
+        rl.remove_ids({id(second[0])})
+        assert list(rl) == second[1:]
+
+    def test_dead_prefix_consumed_without_tombstones(self):
+        # FIFO-style removals from the front should be absorbed by the
+        # prefix offset, leaving no tombstones to filter during iteration.
+        rl = ReadyList()
+        items = [[i] for i in range(10)]
+        rl.extend(items)
+        rl.remove_ids({id(items[0]), id(items[1])})
+        assert not rl._dead
+        assert list(rl) == items[2:]
+
     @given(st.lists(st.integers(), min_size=0, max_size=60), st.data())
     @settings(max_examples=50, deadline=None)
     def test_model_equivalence_property(self, values, data):
