@@ -11,6 +11,11 @@ A task becomes READY when its last predecessor completes; DISPATCHED when a
 scheduling policy maps it to a PE; RUNNING when that PE's resource manager
 begins executing it; COMPLETE when execution (including any accelerator
 data transfers) finishes.
+
+Under fault injection a DISPATCHED or RUNNING task may be *requeued*
+(back to READY) when its PE permanently fails or exhausts its in-place
+retries, and a whole application may be marked *degraded* when no live PE
+can execute its remaining tasks.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ class TaskInstance:
         "dispatch_time",
         "start_time",
         "finish_time",
+        "fault_requeues",
     )
 
     def __init__(self, node: TaskNode, app: "ApplicationInstance", task_id: int) -> None:
@@ -65,6 +71,8 @@ class TaskInstance:
         self.dispatch_time: float = -1.0
         self.start_time: float = -1.0
         self.finish_time: float = -1.0
+        #: WM-level fault reschedules of this task (retry-exhaustion only)
+        self.fault_requeues: int = 0
 
     @property
     def name(self) -> str:
@@ -106,6 +114,26 @@ class TaskInstance:
             )
         self.state = TaskState.RUNNING
         self.start_time = now
+
+    def mark_requeued(self, now: float, *, charge: bool = True) -> None:
+        """Return a dispatched/running task to READY after a PE fault.
+
+        ``charge=True`` (retry exhaustion) counts against the task's
+        requeue budget; PE-failure orphaning is not the task's fault and
+        passes ``charge=False``.  ``ready_time`` keeps its original value
+        so queue-delay statistics measure from first readiness.
+        """
+        if self.state not in (TaskState.DISPATCHED, TaskState.RUNNING):
+            raise EmulationError(
+                f"task {self.qualified_name()} requeued in state {self.state.name}"
+            )
+        self.state = TaskState.READY
+        self.assigned_pe = None
+        self.chosen_platform = None
+        self.dispatch_time = -1.0
+        self.start_time = -1.0
+        if charge:
+            self.fault_requeues += 1
 
     def mark_complete(self, now: float) -> None:
         if self.state != TaskState.RUNNING:
@@ -157,6 +185,8 @@ class ApplicationInstance:
         self.completed_count = 0
         self.inject_time: float = -1.0  # set by the workload manager
         self.finish_time: float = -1.0
+        #: terminally degraded: no live PE can execute a remaining task
+        self.degraded: bool = False
 
     @property
     def app_name(self) -> str:

@@ -21,6 +21,7 @@ from repro.hardware.platform import odroid_xu3, zcu102
 from repro.runtime.backends.threaded import ThreadedBackend
 from repro.runtime.backends.virtual import VirtualBackend
 from repro.runtime.emulation import Emulation
+from repro.runtime.faults import FaultSpec, FaultSpecError
 from repro.runtime.schedulers import available_policies
 from repro.runtime.workload import validation_workload
 from repro.experiments.workloads import TABLE_II_RATES, table_ii_workload
@@ -51,6 +52,7 @@ def _backend(name: str):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    faults = FaultSpec.from_json_file(args.faults) if args.faults else None
     emu = Emulation(
         platform=_platform(args.platform),
         config=args.config,
@@ -58,6 +60,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         materialize_memory=args.backend == "threaded",
         jitter=not args.no_jitter,
         seed=args.seed,
+        faults=faults,
     )
     workload = validation_workload(_parse_apps(args.apps))
     backend = _backend(args.backend)
@@ -147,7 +150,29 @@ def _sweep_grid(args: argparse.Namespace):
         iterations=args.iterations,
         jitter=args.jitter,
         backend=args.backend,
+        faults=_parse_faults_axis(args.faults),
     )
+
+
+def _parse_faults_axis(path: str) -> tuple[dict | None, ...]:
+    """A fault axis from a JSON file: one spec object, or a list of specs
+    (``null`` entries meaning a fault-free cell)."""
+    if not path:
+        return (None,)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FaultSpecError(f"cannot load fault axis {path!r}: {exc}") from exc
+    entries = data if isinstance(data, list) else [data]
+    axis = []
+    for entry in entries:
+        if entry is None:
+            axis.append(None)
+        else:
+            # validate early; the grid carries the plain dict form
+            axis.append(FaultSpec.from_dict(entry).to_dict())
+    return tuple(axis)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -345,6 +370,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["virtual", "threaded"])
     run_p.add_argument("--seed", type=int, default=None)
     run_p.add_argument("--no-jitter", action="store_true")
+    run_p.add_argument("--faults", default="",
+                       help="fault-spec JSON file (see docs/faults.md)")
     run_p.add_argument("--gantt", action="store_true",
                        help="print an ASCII Gantt chart of the schedule")
     run_p.add_argument("--trace", default="",
@@ -383,6 +410,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated injection rates (jobs/ms) "
                               "swept as performance-mode workloads")
     sweep_p.add_argument("--seeds", default="", help="comma-separated seeds")
+    sweep_p.add_argument("--faults", default="",
+                         help="fault axis: JSON file with one fault spec or "
+                              "a list of specs (null = fault-free cell)")
     sweep_p.add_argument("--iterations", type=int, default=1,
                          help="emulation iterations per cell")
     sweep_p.add_argument("--jitter", action="store_true",

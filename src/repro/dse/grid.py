@@ -98,9 +98,11 @@ class SweepCell:
     iterations: int = 1
     jitter: bool = False
     backend: str = "virtual"
+    #: fault spec in dict form (see runtime.faults), or None for fault-free
+    faults: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "platform": self.platform,
             "config": self.config,
             "policy": self.policy,
@@ -110,9 +112,15 @@ class SweepCell:
             "jitter": self.jitter,
             "backend": self.backend,
         }
+        # Serialized only when present so fault-free cell IDs (and cached
+        # results keyed on them) are unchanged from pre-fault campaigns.
+        if self.faults is not None:
+            doc["faults"] = dict(self.faults)
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> SweepCell:
+        faults = data.get("faults")
         return cls(
             platform=data.get("platform", "zcu102"),
             config=data["config"],
@@ -122,6 +130,7 @@ class SweepCell:
             iterations=int(data.get("iterations", 1)),
             jitter=bool(data.get("jitter", False)),
             backend=data.get("backend", "virtual"),
+            faults=dict(faults) if faults is not None else None,
         )
 
     @property
@@ -145,6 +154,8 @@ class SweepCell:
             parts.insert(0, self.platform)
         if self.seed is not None:
             parts.append(f"seed{self.seed}")
+        if self.faults is not None:
+            parts.append(str(self.faults.get("label") or "faults"))
         return "/".join(parts)
 
 
@@ -166,6 +177,8 @@ class SweepGrid:
     iterations: int = 1
     jitter: bool = False
     backend: str = "virtual"
+    #: fault axis: dict-form fault specs; None = a fault-free grid point
+    faults: tuple[dict[str, Any] | None, ...] = (None,)
 
     def __post_init__(self) -> None:
         if not self.configs:
@@ -178,6 +191,10 @@ class SweepGrid:
             raise ReproError("iterations must be >= 1")
         if self.backend not in ("virtual", "threaded"):
             raise ReproError(f"unknown backend {self.backend!r}")
+        if not self.faults:
+            raise ReproError(
+                "fault axis cannot be empty (use (None,) for fault-free)"
+            )
 
     @property
     def size(self) -> int:
@@ -187,6 +204,7 @@ class SweepGrid:
             * len(self.configs)
             * len(self.policies)
             * len(self.seeds)
+            * len(self.faults)
         )
 
     def expand(self) -> list[SweepCell]:
@@ -196,18 +214,24 @@ class SweepGrid:
                 for config in self.configs:
                     for policy in self.policies:
                         for seed in self.seeds:
-                            cells.append(
-                                SweepCell(
-                                    platform=platform,
-                                    config=config,
-                                    policy=policy,
-                                    workload=dict(workload),
-                                    seed=seed,
-                                    iterations=self.iterations,
-                                    jitter=self.jitter,
-                                    backend=self.backend,
+                            for faults in self.faults:
+                                cells.append(
+                                    SweepCell(
+                                        platform=platform,
+                                        config=config,
+                                        policy=policy,
+                                        workload=dict(workload),
+                                        seed=seed,
+                                        iterations=self.iterations,
+                                        jitter=self.jitter,
+                                        backend=self.backend,
+                                        faults=(
+                                            dict(faults)
+                                            if faults is not None
+                                            else None
+                                        ),
+                                    )
                                 )
-                            )
         return cells
 
     @property
@@ -217,7 +241,7 @@ class SweepGrid:
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "platforms": list(self.platforms),
             "configs": list(self.configs),
             "policies": list(self.policies),
@@ -227,13 +251,20 @@ class SweepGrid:
             "jitter": self.jitter,
             "backend": self.backend,
         }
+        # As with SweepCell: only serialized when the axis is non-trivial,
+        # so pre-fault grid IDs are unchanged.
+        if self.faults != (None,):
+            doc["faults"] = [
+                dict(f) if f is not None else None for f in self.faults
+            ]
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> SweepGrid:
         """Build a grid from a campaign spec dict (JSON file contents)."""
         unknown = set(data) - {
             "platforms", "configs", "policies", "workloads", "seeds",
-            "iterations", "jitter", "backend",
+            "iterations", "jitter", "backend", "faults",
         }
         if unknown:
             raise ReproError(f"unknown sweep spec keys: {sorted(unknown)}")
@@ -248,6 +279,10 @@ class SweepGrid:
                 iterations=int(data.get("iterations", 1)),
                 jitter=bool(data.get("jitter", False)),
                 backend=data.get("backend", "virtual"),
+                faults=tuple(
+                    dict(f) if f is not None else None
+                    for f in data.get("faults", (None,))
+                ),
             )
         except KeyError as exc:
             raise ReproError(f"sweep spec missing key: {exc}") from None

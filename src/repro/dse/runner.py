@@ -88,6 +88,7 @@ def execute_cell(cell_data: dict[str, Any]) -> dict[str, Any]:
             materialize_memory=materialize,
             jitter=cell.jitter,
             seed=cell.seed,
+            faults=cell.faults,
         )
         last = emu.run(workload, _make_backend(cell.backend), run_index=it)
         makespans_us.append(last.stats.makespan)
@@ -113,6 +114,7 @@ def execute_cell(cell_data: dict[str, Any]) -> dict[str, Any]:
         "tasks": stats.task_count,
         "apps_injected": stats.apps_injected,
         "apps_completed": stats.apps_completed,
+        "apps_degraded": stats.apps_degraded,
         "pe_utilization": stats.pe_utilization(),
         "pe_energy_j": pe_energy,
         "total_energy_j": float(sum(pe_energy.values())),
@@ -122,6 +124,13 @@ def execute_cell(cell_data: dict[str, Any]) -> dict[str, Any]:
         },
         "wall_time_s": time.monotonic() - t0,
     }
+    if stats.faults_enabled:
+        metrics["faults"] = {
+            "pe_failures": stats.pe_failures,
+            "transient_faults": stats.transient_faults,
+            "task_retries": stats.task_retries,
+            "tasks_requeued": stats.tasks_requeued,
+        }
     if cell.backend == "threaded":
         metrics["outputs_correct"] = last.verify_outputs()
     return metrics
@@ -168,6 +177,7 @@ class CellResult:
                 "total_energy_j",
                 "tasks",
                 "apps_completed",
+                "apps_degraded",
             ):
                 row[key] = self.metrics.get(key)
         if self.error:

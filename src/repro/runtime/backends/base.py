@@ -11,6 +11,7 @@ from repro.hardware.config import AffinityPlan
 from repro.hardware.perfmodel import PerformanceModel, SchedulerCostModel
 from repro.hardware.platform import SoCPlatform
 from repro.runtime.application_handler import ApplicationHandler
+from repro.runtime.faults import FaultInjector
 from repro.runtime.handler import ResourceHandler
 from repro.runtime.schedulers.base import Scheduler
 from repro.runtime.stats import EmulationStats
@@ -93,6 +94,8 @@ class EmulationSession:
     jitter: bool = True
     #: validate every policy output (disable only in calibrated sweeps)
     validate_assignments: bool = True
+    #: fault injector, or None for a fault-free run (see runtime.faults)
+    faults: FaultInjector | None = None
 
     @property
     def n_pes(self) -> int:

@@ -13,6 +13,15 @@ numbers from this backend are only meaningful relative to each other.
 Figure reproduction uses the virtual backend; this backend provides
 functional verification (validation mode) and the Case Study 4 speedup
 measurements.
+
+Crash semantics: a kernel exception (not retried away by fault hardening)
+fail-stops its PE — the handler transitions to ``PEStatus.FAILED`` so no
+handler is left stuck in RUN — and every RM/WM failure collected during
+teardown is chained into the raised error rather than silently dropped.
+Fault injection (``EmulationSession.faults``) adds wall-clock analogues of
+the virtual backend's faults: timed permanent PE failures checked at task
+boundaries, per-attempt transient kernel faults with bounded
+retry-with-backoff, and post-kernel stall slowdowns.
 """
 
 from __future__ import annotations
@@ -30,7 +39,8 @@ from repro.runtime.backends.base import (
     ExecutionBackend,
     PerfModelOracle,
 )
-from repro.runtime.handler import ResourceHandler
+from repro.runtime.faults import InjectedKernelFault
+from repro.runtime.handler import PEFailedError, PEStatus, ResourceHandler
 from repro.runtime.stats import EmulationStats
 from repro.runtime.workload_manager import WorkloadManagerCore
 
@@ -51,6 +61,29 @@ def _try_pin(core_index: int) -> bool:
         return False
 
 
+def combine_failures(failures: list[BaseException]) -> BaseException:
+    """One exception carrying *every* collected backend failure.
+
+    A single failure is returned as-is (callers re-raise it unchanged); for
+    concurrent failures the summary error chains the first as ``__cause__``
+    and attaches the rest as notes, so no RM thread's exception is dropped.
+    """
+    if not failures:
+        raise ValueError("combine_failures requires at least one failure")
+    if len(failures) == 1:
+        return failures[0]
+    summary = "; ".join(f"{type(e).__name__}: {e}" for e in failures)
+    err = EmulationError(
+        f"{len(failures)} concurrent backend failures: {summary}"
+    )
+    err.__cause__ = failures[0]
+    add_note = getattr(err, "add_note", None)
+    if add_note is not None:  # pragma: no branch - 3.11+
+        for extra in failures[1:]:
+            add_note(f"concurrent failure: {type(extra).__name__}: {extra}")
+    return err
+
+
 class ThreadedBackend(ExecutionBackend):
     name = "threaded"
 
@@ -60,10 +93,12 @@ class ThreadedBackend(ExecutionBackend):
         pin_threads: bool = False,
         poll_interval_s: float = 0.0005,
         timeout_s: float = 300.0,
+        join_timeout_s: float = 5.0,
     ) -> None:
         self.pin_threads = pin_threads
         self.poll_interval_s = poll_interval_s
         self.timeout_s = timeout_s
+        self.join_timeout_s = join_timeout_s
 
     def run(self, session: EmulationSession) -> EmulationStats:
         for instance in session.instances:
@@ -87,6 +122,7 @@ class ThreadedBackend(ExecutionBackend):
             session.scheduler,
             session.stats,
             validate=session.validate_assignments,
+            faults=session.faults,
         )
         # Reference start time: all timestamps are µs since this instant.
         ref = time.perf_counter()
@@ -97,13 +133,17 @@ class ThreadedBackend(ExecutionBackend):
         wm_lock = threading.Lock()
         wm_condition = threading.Condition(wm_lock)
         completed: list[tuple[ResourceHandler, object]] = []
+        #: tasks handed back after exhausted in-place retries
+        requeues: list[tuple[ResourceHandler, object]] = []
+        #: (handler, orphans) pairs from permanent PE failures
+        pe_failures: list[tuple[ResourceHandler, list]] = []
         failure: list[BaseException] = []
 
         rm_threads = [
             threading.Thread(
                 target=self._rm_loop,
                 args=(session, handler, devices.get(handler.pe_id), clock,
-                      wm_condition, completed, failure),
+                      wm_condition, completed, requeues, pe_failures, failure),
                 name=f"rm-{handler.name}",
                 daemon=True,
             )
@@ -112,20 +152,41 @@ class ThreadedBackend(ExecutionBackend):
         for t in rm_threads:
             t.start()
         try:
-            self._wm_loop(session, core, clock, wm_condition, completed, failure)
+            self._wm_loop(
+                session, core, clock, wm_condition,
+                completed, requeues, pe_failures, failure,
+            )
         finally:
             for handler in session.handlers:
                 handler.request_shutdown()
             for t in rm_threads:
-                t.join(timeout=5.0)
+                t.join(timeout=self.join_timeout_s)
+            alive = [t.name for t in rm_threads if t.is_alive()]
+            if alive:
+                _log.warning(
+                    "%d RM daemon thread(s) still alive after %.1fs join "
+                    "timeout (hung kernel?): %s",
+                    len(alive), self.join_timeout_s, ", ".join(alive),
+                )
+            # A task dispatched in the same WM pass that detected a failure
+            # can be stranded: the RM observes the shutdown flag and exits
+            # without ever claiming it.  Abort it so no handler whose RM has
+            # exited is left stuck in RUN (a still-alive RM owns its state).
+            for t, handler in zip(rm_threads, session.handlers):
+                if not t.is_alive() and handler.status is PEStatus.RUN:
+                    try:
+                        handler.abort_task()
+                    except EmulationError:  # pragma: no cover - RM exit race
+                        pass
         if failure:
-            raise failure[0]
+            raise combine_failures(failure)
         session.stats.assert_all_complete()
         return session.stats
 
     # -- workload-manager thread (runs on the caller) ------------------------------------
 
-    def _wm_loop(self, session, core, clock, wm_condition, completed, failure):
+    def _wm_loop(self, session, core, clock, wm_condition,
+                 completed, requeues, pe_failures, failure):
         self_serve = session.scheduler.uses_reservation
         if self.pin_threads:
             _try_pin(session.platform.management_core)
@@ -139,7 +200,12 @@ class ThreadedBackend(ExecutionBackend):
                     f"({core.apps_completed}/{core.n_apps} apps complete)"
                 )
             with wm_condition:
-                if not completed and not core.has_due_arrival(clock()):
+                if (
+                    not completed
+                    and not requeues
+                    and not pe_failures
+                    and not core.has_due_arrival(clock())
+                ):
                     nxt = core.next_arrival()
                     wait_s = self.poll_interval_s
                     if nxt is not None:
@@ -148,48 +214,91 @@ class ThreadedBackend(ExecutionBackend):
                     wm_condition.wait(timeout=wait_s)
                 batch = list(completed)
                 completed.clear()
+                fail_batch = list(pe_failures)
+                pe_failures.clear()
+                req_batch = list(requeues)
+                requeues.clear()
             t0 = clock()
             now = t0
             n_comp = core.process_completions(batch, now)
+            for failed_handler, orphans in fail_batch:
+                core.absorb_pe_failure(failed_handler, orphans, now)
+            if req_batch:
+                core.absorb_requeues(req_batch, now)
             core.inject_due(now)
             ready_len = len(core.ready)
             assignments = core.run_policy(now)
             core.commit(assignments, clock())
             for a in assignments:
-                if self_serve:
-                    a.handler.reserve(a.task)
-                else:
-                    a.handler.assign(a.task)
+                try:
+                    if self_serve:
+                        a.handler.reserve(a.task)
+                    else:
+                        a.handler.assign(a.task)
+                except PEFailedError:
+                    # Lost the race against a concurrent PE failure.
+                    core.recover_failed_dispatch(a.task, clock())
             # Measured overhead: monitor + ready update + policy + dispatch.
             if n_comp or assignments or ready_len:
                 session.stats.record_scheduling_pass(clock() - t0, ready_len)
             with wm_condition:
-                pending = len(completed)
+                pending = len(completed) + len(requeues) + len(pe_failures)
             try:
                 core.check_liveness(clock(), pending_completions=pending)
             except EmulationError:
                 # A completion may have landed between the snapshot and the
                 # verdict; only a still-empty queue is a real deadlock.
                 with wm_condition:
-                    if not completed:
+                    if not completed and not requeues and not pe_failures:
                         raise
 
     # -- resource-manager threads -----------------------------------------------------------
 
     def _rm_loop(self, session, handler, device, clock, wm_condition,
-                 completed, failure):
+                 completed, requeues, pe_failures, failure):
         if self.pin_threads:
             _try_pin(handler.pe.host_core)
         self_serve = session.scheduler.uses_reservation
         app_handler = session.app_handler
+        injector = session.faults
+        fail_at = injector.fail_at(handler) if injector is not None else None
+        slowdown = (
+            injector.slowdown_for(handler) if injector is not None else 1.0
+        )
+        harden = injector.harden if injector is not None else False
+
+        def fail_permanently() -> None:
+            """Fail-stop this PE and hand its orphaned work to the WM."""
+            orphans = handler.mark_failed(clock())
+            with wm_condition:
+                pe_failures.append((handler, orphans))
+                wm_condition.notify_all()
+
         try:
             while True:
+                if (
+                    fail_at is not None
+                    and not handler.failed
+                    and clock() >= fail_at
+                ):
+                    fail_permanently()
+                    return
                 task = handler.wait_for_work(timeout=0.05)
                 if task is None:
-                    if handler.shutdown:
+                    if handler.shutdown or handler.failed:
                         return
                     continue
                 while task is not None:
+                    # Timed failures are checked at task boundaries: a
+                    # kernel already executing runs to completion (wall
+                    # clock cannot be interrupted mid-kernel).
+                    if (
+                        fail_at is not None
+                        and not handler.failed
+                        and clock() >= fail_at
+                    ):
+                        fail_permanently()
+                        return
                     binding = task.chosen_platform
                     if binding is None:
                         raise EmulationError(
@@ -207,21 +316,72 @@ class ThreadedBackend(ExecutionBackend):
                         device=device,
                     )
                     task.mark_running(clock())
-                    try:
-                        kernel(ctx)
-                    except Exception as exc:
-                        raise EmulationError(
-                            f"kernel {binding.runfunc!r} failed on "
-                            f"{task.qualified_name()}: {exc}"
-                        ) from exc
+                    attempts = 0
+                    requeued = False
+                    while True:
+                        injected = (
+                            injector.draw_fault(handler)
+                            if injector is not None
+                            else None
+                        )
+                        try:
+                            if injected is not None:
+                                raise InjectedKernelFault(injected)
+                            kernel(ctx)
+                            break
+                        except Exception as exc:
+                            is_injected = isinstance(exc, InjectedKernelFault)
+                            if injector is None or not (is_injected or harden):
+                                raise EmulationError(
+                                    f"kernel {binding.runfunc!r} failed on "
+                                    f"{task.qualified_name()}: {exc}"
+                                ) from exc
+                            attempts += 1
+                            kind = exc.kind if is_injected else "kernel_error"
+                            session.stats.record_transient_fault(
+                                handler.name, task.qualified_name(),
+                                attempts, clock(), kind,
+                            )
+                            if attempts > injector.max_retries:
+                                # Retries exhausted: return the task to the
+                                # WM for rescheduling on another PE.
+                                task.mark_requeued(clock())
+                                next_task = handler.abort_task(
+                                    self_serve=self_serve
+                                )
+                                with wm_condition:
+                                    requeues.append((handler, task))
+                                    wm_condition.notify_all()
+                                task = next_task
+                                requeued = True
+                                break
+                            time.sleep(
+                                min(injector.backoff_us(attempts) / 1e6, 0.05)
+                            )
+                    if requeued:
+                        continue
+                    if slowdown > 1.0:
+                        # Model a degraded PE as a post-kernel stall
+                        # proportional to the measured kernel time.
+                        elapsed_us = clock() - task.start_time
+                        time.sleep(
+                            min((slowdown - 1.0) * elapsed_us / 1e6, 0.25)
+                        )
                     task.mark_complete(clock())
-                    handler.busy_time += task.finish_time - task.start_time
                     next_task = handler.finish_task(self_serve=self_serve)
                     with wm_condition:
                         completed.append((handler, task))
                         wm_condition.notify_all()
                     task = next_task
         except BaseException as exc:  # propagate to the WM thread
+            # Fail-stop the PE so no handler is left stuck in RUN and the
+            # WM requeues (or degrades) whatever work it still held.
+            try:
+                orphans = handler.mark_failed(clock())
+            except Exception:  # pragma: no cover - defensive
+                orphans = []
             failure.append(exc)
             with wm_condition:
+                if orphans:
+                    pe_failures.append((handler, orphans))
                 wm_condition.notify_all()

@@ -30,10 +30,12 @@ from repro.runtime.backends.base import (
     ExecutionBackend,
     PerfModelOracle,
 )
-from repro.runtime.handler import ResourceHandler
+from repro.runtime.faults import FaultInjector
+from repro.runtime.handler import PEFailedError, ResourceHandler
 from repro.runtime.stats import EmulationStats
 from repro.runtime.workload_manager import WorkloadManagerCore
 from repro.sim.engine import Engine
+from repro.sim.process import Process
 from repro.sim.resources import HostCore, Mailbox
 
 _log = get_logger("runtime.backends.virtual")
@@ -125,34 +127,46 @@ class VirtualBackend(ExecutionBackend):
         if session.scheduler.oracle is None:
             session.scheduler.oracle = PerfModelOracle(session.perf_model, devices)
 
+        injector = session.faults
         core = WorkloadManagerCore(
             session.instances,
             session.handlers,
             session.scheduler,
             session.stats,
             validate=session.validate_assignments,
+            faults=injector,
         )
         waker = _Waker(engine)
         completed: deque[tuple[ResourceHandler, object]] = deque()
+        #: tasks handed back by RMs after exhausting in-place retries
+        requeues: deque[tuple[ResourceHandler, object]] = deque()
+        #: (handler, orphans) pairs from permanent PE failures
+        fault_events: deque[tuple[ResourceHandler, list]] = deque()
         mailboxes: dict[int, Mailbox] = {
             h.pe_id: Mailbox(engine) for h in session.handlers
         }
 
+        rm_procs: dict[int, Process] = {}
         for handler in session.handlers:
             device = devices.get(handler.pe_id)
             host = cores[handler.pe.host_core]
-            engine.process(
+            rm_procs[handler.pe_id] = engine.process(
                 self._rm_process(
                     engine, session, handler, host, device,
-                    mailboxes[handler.pe_id], completed, waker,
+                    mailboxes[handler.pe_id], completed, requeues, waker,
                 )
             )
         engine.process(
             self._wm_process(
                 engine, session, core, cores[platform.management_core],
-                mailboxes, completed, waker,
+                mailboxes, completed, requeues, fault_events, waker,
             )
         )
+        if injector is not None:
+            self._schedule_failures(
+                engine, injector, session.handlers, rm_procs, core,
+                fault_events, waker,
+            )
         engine.run(max_events=self.max_events)
         self.last_run_info = {
             "events_fired": engine.events_fired,
@@ -162,10 +176,48 @@ class VirtualBackend(ExecutionBackend):
         if not core.all_complete():
             raise EmulationError(
                 f"virtual emulation stalled: {core.apps_completed}/"
-                f"{core.n_apps} applications completed"
+                f"{core.n_apps} applications completed "
+                f"({core.apps_degraded} degraded)"
             )
         session.stats.assert_all_complete()
         return session.stats
+
+    # -- fault injection -----------------------------------------------------------
+
+    @staticmethod
+    def _schedule_failures(
+        engine: Engine,
+        injector: FaultInjector,
+        handlers: list[ResourceHandler],
+        rm_procs: dict[int, Process],
+        core: WorkloadManagerCore,
+        fault_events: deque,
+        waker: _Waker,
+    ) -> None:
+        """Arm one engine callback per spec'd permanent PE failure."""
+
+        def make_kill(handler: ResourceHandler):
+            def kill() -> None:
+                if handler.failed or core.all_complete():
+                    return
+                orphans = handler.mark_failed(engine.now)
+                proc = rm_procs[handler.pe_id]
+                if not proc.triggered:
+                    # Fail-stop: abandon whatever the RM is doing.  An
+                    # uncaught Interrupt is a clean process exit; a doomed
+                    # in-flight attempt still charges its host core (the
+                    # _Consume event self-drives) — modeling the core being
+                    # wedged until the failure is fenced off.
+                    proc.interrupt("pe-failure")
+                fault_events.append((handler, orphans))
+                waker.fire()
+
+            return kill
+
+        for handler in handlers:
+            t_fail = injector.fail_at(handler)
+            if t_fail is not None:
+                engine.call_at(t_fail, make_kill(handler))
 
     # -- workload-manager process -------------------------------------------------------
 
@@ -177,6 +229,8 @@ class VirtualBackend(ExecutionBackend):
         mgmt_core: HostCore,
         mailboxes: dict[int, Mailbox],
         completed: deque,
+        requeues: deque,
+        fault_events: deque,
         waker: _Waker,
     ):
         cost_model = session.cost_model
@@ -186,9 +240,15 @@ class VirtualBackend(ExecutionBackend):
         wm_token = object()  # identity on the management core
 
         while not core.all_complete():
-            # Sleep until something is actionable: a buffered completion or
-            # the workload queue's head arrival coming due.
-            if not completed and not core.has_due_arrival(engine.now):
+            # Sleep until something is actionable: a buffered completion, a
+            # fault event to absorb, or the workload queue's head arrival
+            # coming due.
+            if (
+                not completed
+                and not fault_events
+                and not requeues
+                and not core.has_due_arrival(engine.now)
+            ):
                 wait = waker.wait_event()
                 nxt = core.next_arrival()
                 if nxt is not None:
@@ -202,6 +262,12 @@ class VirtualBackend(ExecutionBackend):
             # of copying every pass.
             n_comp = core.process_completions(completed, now)
             completed.clear()
+            while fault_events:
+                failed_handler, orphans = fault_events.popleft()
+                core.absorb_pe_failure(failed_handler, orphans, now)
+            if requeues:
+                core.absorb_requeues(list(requeues), now)
+                requeues.clear()
             core.inject_due(now)
             ready_len = len(core.ready)
             assignments = core.run_policy(now)
@@ -223,14 +289,24 @@ class VirtualBackend(ExecutionBackend):
             dispatch_now = engine.now
             core.commit(assignments, dispatch_now)
             for a in assignments:
-                if self_serve:
-                    started = a.handler.reserve(a.task)
-                    if started:
+                try:
+                    if self_serve:
+                        started = a.handler.reserve(a.task)
+                        if started:
+                            mailboxes[a.handler.pe_id].put(a.task)
+                    else:
+                        a.handler.assign(a.task)
                         mailboxes[a.handler.pe_id].put(a.task)
-                else:
-                    a.handler.assign(a.task)
-                    mailboxes[a.handler.pe_id].put(a.task)
-            core.check_liveness(dispatch_now, pending_completions=len(completed))
+                except PEFailedError:
+                    # The PE failed while this pass was charging its
+                    # overhead; put the task back for the next pass.
+                    core.recover_failed_dispatch(a.task, dispatch_now)
+            core.check_liveness(
+                dispatch_now,
+                pending_completions=(
+                    len(completed) + len(requeues) + len(fault_events)
+                ),
+            )
 
     # -- resource-manager process ----------------------------------------------------------
 
@@ -243,14 +319,20 @@ class VirtualBackend(ExecutionBackend):
         device: FFTAcceleratorDevice | None,
         mailbox: Mailbox,
         completed: deque,
+        requeues: deque,
         waker: _Waker,
     ):
         perf = session.perf_model
         pe_type = handler.pe.pe_type
+        is_accel = pe_type.is_accelerator
         jitter_rng = (
             session.seeds.rng("jitter", handler.name) if session.jitter else None
         )
         self_serve = session.scheduler.uses_reservation
+        injector = session.faults
+        slowdown = (
+            injector.slowdown_for(handler) if injector is not None else 1.0
+        )
 
         while True:
             task = yield mailbox.get()
@@ -265,7 +347,7 @@ class VirtualBackend(ExecutionBackend):
                     perf.jitter(jitter_rng) if jitter_rng is not None else 1.0
                 )
                 task.mark_running(engine.now)
-                if pe_type.is_accelerator:
+                if is_accel:
                     if device is None:
                         raise EmulationError(
                             f"PE {handler.name}: accelerator PE without device"
@@ -275,22 +357,74 @@ class VirtualBackend(ExecutionBackend):
                     t_in = device.dma.transfer_time(nbytes)
                     t_out = device.dma.transfer_time(nbytes)
                     t_compute = device.compute_time(points) * jitter
-                    # DDR -> BRAM transfer occupies the manager's host core.
-                    yield from host.consume(handler, t_in)
-                    # The manager thread sleeps while the device computes,
-                    # releasing the core to co-resident manager threads.
-                    yield engine.timeout(t_compute)
-                    # BRAM -> DDR transfer occupies the core again.
-                    yield from host.consume(handler, t_out)
+                    durations = (t_in, t_compute, t_out)
                 else:
                     service = perf.cpu_time(binding.runfunc, pe_type) * jitter
-                    # cpu_time() already applied the PE-type speed; the host
-                    # core's own speed equals the PE's, so consume the
-                    # pre-scaled duration at unit core speed.
-                    yield from host.consume(handler, service * host.speed)
+                    durations = (service,)
+                if injector is None:
+                    # Fault-free fast path: identical yield sequence (and
+                    # therefore identical event ordering) to the pre-fault
+                    # backend.
+                    yield from self._charge(engine, handler, host, is_accel, durations)
+                else:
+                    if slowdown != 1.0:
+                        durations = tuple(d * slowdown for d in durations)
+                    attempts = 0
+                    gave_up = False
+                    while True:
+                        # The fault is decided up front (one RNG draw per
+                        # attempt); the attempt still charges its full
+                        # modeled time before the fault manifests.
+                        fault = injector.draw_fault(handler)
+                        yield from self._charge(
+                            engine, handler, host, is_accel, durations
+                        )
+                        if fault is None:
+                            break
+                        attempts += 1
+                        session.stats.record_transient_fault(
+                            handler.name, task.qualified_name(), attempts,
+                            engine.now, fault,
+                        )
+                        if attempts > injector.max_retries:
+                            gave_up = True
+                            break
+                        yield engine.timeout(injector.backoff_us(attempts))
+                    if gave_up:
+                        # Retries exhausted: hand the task back to the WM
+                        # for rescheduling and continue with reserved work.
+                        task.mark_requeued(engine.now)
+                        next_task = handler.abort_task(self_serve=self_serve)
+                        requeues.append((handler, task))
+                        waker.fire()
+                        task = next_task
+                        continue
                 task.mark_complete(engine.now)
-                handler.busy_time += task.finish_time - task.start_time
                 next_task = handler.finish_task(self_serve=self_serve)
                 completed.append((handler, task))
                 waker.fire()
                 task = next_task
+
+    @staticmethod
+    def _charge(
+        engine: Engine,
+        handler: ResourceHandler,
+        host: HostCore,
+        is_accel: bool,
+        durations: tuple,
+    ):
+        """Charge one execution attempt's modeled time (one task, one try)."""
+        if is_accel:
+            t_in, t_compute, t_out = durations
+            # DDR -> BRAM transfer occupies the manager's host core.
+            yield from host.consume(handler, t_in)
+            # The manager thread sleeps while the device computes,
+            # releasing the core to co-resident manager threads.
+            yield engine.timeout(t_compute)
+            # BRAM -> DDR transfer occupies the core again.
+            yield from host.consume(handler, t_out)
+        else:
+            # cpu_time() already applied the PE-type speed; the host
+            # core's own speed equals the PE's, so consume the
+            # pre-scaled duration at unit core speed.
+            yield from host.consume(handler, durations[0] * host.speed)

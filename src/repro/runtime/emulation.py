@@ -30,6 +30,7 @@ from repro.hardware.platform import SoCPlatform, zcu102
 from repro.runtime.application_handler import ApplicationHandler
 from repro.runtime.backends.base import EmulationSession, ExecutionBackend
 from repro.runtime.backends.virtual import VirtualBackend
+from repro.runtime.faults import FaultSpec, make_injector
 from repro.runtime.handler import ResourceHandler
 from repro.runtime.schedulers import Scheduler, make_scheduler
 from repro.runtime.stats import EmulationStats
@@ -88,6 +89,7 @@ class Emulation:
         jitter: bool = True,
         materialize_memory: bool = True,
         validate_assignments: bool = True,
+        faults: FaultSpec | dict | None = None,
     ) -> None:
         self.platform = platform if platform is not None else zcu102()
         self.config = (
@@ -108,6 +110,9 @@ class Emulation:
         self.jitter = jitter
         self.materialize_memory = materialize_memory
         self.validate_assignments = validate_assignments
+        #: fault plan (FaultSpec, its dict form, or None); an empty spec is
+        #: equivalent to None — the run stays bit-identical to fault-free
+        self.faults = faults
 
     # -- the initialization phase + emulation ---------------------------------------------
 
@@ -143,6 +148,8 @@ class Emulation:
         seeds = SeedSequenceFactory(self.seed)
         if run_index:
             seeds = seeds.spawn("run", run_index)
+        injector = make_injector(self.faults, seeds)
+        stats.faults_enabled = injector is not None
         return EmulationSession(
             platform=self.platform,
             plan=plan,
@@ -156,6 +163,7 @@ class Emulation:
             seeds=seeds,
             jitter=self.jitter,
             validate_assignments=self.validate_assignments,
+            faults=injector,
         )
 
     def run(

@@ -2,15 +2,21 @@
 
 Each PE gets a dedicated handler composed of "fields that track PE
 availability, type, and id along with its workload and synchronization
-lock".  Availability follows the paper's three-state protocol::
+lock".  Availability follows the paper's three-state protocol, extended
+with a terminal failure state for fault injection::
 
     IDLE ──(WM assigns task, sets RUN)──► RUN
     RUN ──(RM finishes, sets COMPLETE)──► COMPLETE
     COMPLETE ──(WM acknowledges)──► IDLE
+    any ──(fault injection, mark_failed)──► FAILED   (terminal)
 
 Any thread reading or writing the status field must hold the handler's
 lock; the threaded backend relies on this, while the single-threaded
 virtual backend satisfies the rule trivially (its lock is uncontended).
+The ``failed`` flag is additionally mirrored as a plain attribute so
+schedulers can exclude failed PEs without taking the lock in their inner
+loops (written once under the lock; a stale read is benign because the
+workload manager re-filters assignments against it before dispatch).
 
 Completed tasks are buffered in ``finished_tasks`` for the workload
 manager's monitoring step.  The ``reservation_queue`` implements the
@@ -35,6 +41,17 @@ class PEStatus(enum.Enum):
     IDLE = "idle"
     RUN = "run"
     COMPLETE = "complete"
+    #: terminal: the PE suffered a permanent fault and accepts no more work
+    FAILED = "failed"
+
+
+class PEFailedError(EmulationError):
+    """Work was handed to a PE that has permanently failed.
+
+    Raised by :meth:`ResourceHandler.assign`/:meth:`ResourceHandler.reserve`
+    when the WM loses the race against a concurrent failure; the workload
+    manager catches it and requeues the task instead of crashing the run.
+    """
 
 
 class ResourceHandler:
@@ -70,6 +87,10 @@ class ResourceHandler:
         self.estimated_free_time: float = 0.0
         #: set by backends that want the RM thread/process to exit
         self.shutdown = False
+        #: lock-free mirror of ``status is PEStatus.FAILED`` (see module doc)
+        self.failed: bool = False
+        #: time the PE failed (µs), or -1.0 while healthy
+        self.failed_at: float = -1.0
 
     # -- properties ------------------------------------------------------------
 
@@ -86,6 +107,10 @@ class ResourceHandler:
     def assign(self, task: TaskInstance) -> None:
         """Hand a task to an idle PE and flip it to RUN."""
         with self.condition:
+            if self._status is PEStatus.FAILED:
+                raise PEFailedError(
+                    f"PE {self.name}: assign after permanent failure"
+                )
             if self._status is not PEStatus.IDLE:
                 raise EmulationError(
                     f"PE {self.name}: assign while {self._status.value}"
@@ -101,6 +126,10 @@ class ResourceHandler:
         False when it was queued behind the current work.
         """
         with self.condition:
+            if self._status is PEStatus.FAILED:
+                raise PEFailedError(
+                    f"PE {self.name}: reserve after permanent failure"
+                )
             if self._status is PEStatus.IDLE:
                 self.current_task = task
                 self._status = PEStatus.RUN
@@ -132,6 +161,31 @@ class ResourceHandler:
             self.shutdown = True
             self.condition.notify_all()
 
+    def mark_failed(self, now: float) -> list[TaskInstance]:
+        """Permanent fault: flip to FAILED and surrender unexecuted work.
+
+        Returns the tasks the workload manager must requeue: the in-flight
+        task when the PE was in RUN (assigned or mid-kernel — fail-stop
+        semantics discard the attempt) plus every reservation-queue
+        booking.  A task already in COMPLETE finished execution and stays
+        with the completion channel.  Idempotent: a second call returns
+        ``[]``.
+        """
+        with self.condition:
+            if self._status is PEStatus.FAILED:
+                return []
+            orphans: list[TaskInstance] = []
+            if self._status is PEStatus.RUN and self.current_task is not None:
+                orphans.append(self.current_task)
+            orphans.extend(self.reservation_queue)
+            self.reservation_queue.clear()
+            self.current_task = None
+            self._status = PEStatus.FAILED
+            self.failed = True
+            self.failed_at = now
+            self.condition.notify_all()
+            return orphans
+
     # -- RM side -----------------------------------------------------------------
 
     def finish_task(self, *, self_serve: bool = False) -> TaskInstance | None:
@@ -150,6 +204,11 @@ class ResourceHandler:
             done = self.current_task
             self.finished_tasks.append(done)
             self.tasks_executed += 1
+            # Busy-time accounting happens here, under the condition lock,
+            # because the WM side may read busy_time concurrently; timeline
+            # stamps are valid only once mark_complete() ran.
+            if done.finish_time >= 0.0 and done.start_time >= 0.0:
+                self.busy_time += done.finish_time - done.start_time
             if not self_serve:
                 self._status = PEStatus.COMPLETE
                 self.condition.notify_all()
@@ -162,6 +221,28 @@ class ResourceHandler:
             self._status = PEStatus.IDLE
             return None
 
+    def abort_task(self, *, self_serve: bool = False) -> TaskInstance | None:
+        """RM abandons the current task without completing it (fault path).
+
+        Mirrors :meth:`finish_task` minus the completion bookkeeping: the
+        task is *not* buffered, counted, or charged to busy time — the
+        workload manager receives it through the requeue channel instead.
+        Self-serve mode continues with the next reserved task.
+        """
+        with self.condition:
+            if self._status is not PEStatus.RUN or self.current_task is None:
+                raise EmulationError(
+                    f"PE {self.name}: abort_task while {self._status.value}"
+                )
+            self.current_task = None
+            if self_serve and self.reservation_queue:
+                self.current_task = self.reservation_queue.popleft()
+                self.condition.notify_all()
+                return self.current_task
+            self._status = PEStatus.IDLE
+            self.condition.notify_all()
+            return None
+
     def wait_for_work(self, timeout: float | None = None) -> TaskInstance | None:
         """RM blocks until a task is assigned (threaded backend).
 
@@ -169,6 +250,8 @@ class ResourceHandler:
         """
         with self.condition:
             while not self.shutdown:
+                if self._status is PEStatus.FAILED:
+                    return None
                 if self._status is PEStatus.RUN and self.current_task is not None:
                     return self.current_task
                 if not self.condition.wait(timeout=timeout):

@@ -111,8 +111,24 @@ class Scheduler:
     @staticmethod
     def idle_handlers(handlers: list[ResourceHandler]) -> list[ResourceHandler]:
         """Snapshot of currently idle PEs (reads status under each lock,
-        matching the paper's 'begin by checking availability' guidance)."""
+        matching the paper's 'begin by checking availability' guidance).
+        ``PEStatus.FAILED`` is terminal and distinct from IDLE, so failed
+        PEs are excluded here automatically."""
         return [h for h in handlers if h.status is PEStatus.IDLE]
+
+    @staticmethod
+    def failed_mask(handlers: list[ResourceHandler]) -> list[bool] | None:
+        """Positional failed-PE flags, or None when every PE is live.
+
+        Custom policies that scan ``handlers`` directly (instead of using
+        :meth:`idle_handlers`) should skip handlers flagged here under
+        fault injection; the None fast path keeps the no-fault case free.
+        Reads the lock-free ``failed`` mirror — the workload manager
+        re-filters committed assignments, so a stale read is benign.
+        """
+        if not any(h.failed for h in handlers):
+            return None
+        return [h.failed for h in handlers]
 
     def required_oracle(self) -> ExecutionTimeOracle:
         if self.oracle is None:

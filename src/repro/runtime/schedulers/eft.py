@@ -33,7 +33,12 @@ class EFTScheduler(Scheduler):
         idle_now: list[bool] = []
         idle_remaining = 0
         for h in handlers:
-            if h.status is PEStatus.IDLE:
+            if h.failed:
+                # Failed PEs never win the finish-time comparison (inf + est
+                # is never < best), so the inner loop needs no extra branch.
+                idle_now.append(False)
+                avail.append(float("inf"))
+            elif h.status is PEStatus.IDLE:
                 idle_now.append(True)
                 avail.append(now)
                 idle_remaining += 1

@@ -25,7 +25,8 @@ class FRFSScheduler(Scheduler):
     ) -> list[Assignment]:
         # (position-in-handlers, handler) pairs; removing a dispatched PE
         # keeps the remaining idle PEs in original order, so "first idle
-        # supporting PE" is unchanged.
+        # supporting PE" is unchanged.  FAILED is terminal and never IDLE,
+        # so failed PEs are excluded by construction.
         idle = [
             (i, h) for i, h in enumerate(handlers) if h.status is PEStatus.IDLE
         ]

@@ -75,7 +75,12 @@ class HEFTScheduler(Scheduler):
         idle_now: list[bool] = []
         idle_remaining = 0
         for h in handlers:
-            if h.status is PEStatus.IDLE:
+            if h.failed:
+                # As in EFT: inf availability keeps failed PEs from ever
+                # winning without touching the inner loop.
+                idle_now.append(False)
+                avail.append(float("inf"))
+            elif h.status is PEStatus.IDLE:
                 idle_now.append(True)
                 avail.append(now)
                 idle_remaining += 1

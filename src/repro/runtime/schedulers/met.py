@@ -32,7 +32,8 @@ class METScheduler(Scheduler):
         now: float,
     ) -> list[Assignment]:
         # (position-in-handlers, handler) pairs so cached estimate rows can
-        # be indexed positionally as the idle pool shrinks.
+        # be indexed positionally as the idle pool shrinks.  FAILED PEs are
+        # never IDLE, so the pool excludes them by construction.
         available = [
             (i, h) for i, h in enumerate(handlers) if h.status is PEStatus.IDLE
         ]

@@ -27,6 +27,7 @@ class RandomScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
+        # FAILED PEs are never IDLE, so they cannot be drawn.
         available = [
             (i, h) for i, h in enumerate(handlers) if h.status is PEStatus.IDLE
         ]

@@ -47,7 +47,11 @@ class ReservationEFTScheduler(Scheduler):
         open_slots = 0
         depth = self.queue_depth
         for h in handlers:
-            if h.status is PEStatus.IDLE:
+            if h.failed:
+                # A failed PE accepts neither dispatch nor bookings.
+                avail.append(float("inf"))
+                free_slots = 0
+            elif h.status is PEStatus.IDLE:
                 avail.append(now)
                 free_slots = depth
             else:
@@ -105,13 +109,17 @@ class ReservationFRFSScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
+        depth = self.queue_depth
+        # ``depth`` is the exclusive load bound below, so a failed PE pinned
+        # at ``depth`` can never be selected.
         load = [
-            0 if h.status is PEStatus.IDLE else 1 + len(h.reservation_queue)
+            depth if h.failed
+            else 0 if h.status is PEStatus.IDLE
+            else 1 + len(h.reservation_queue)
             for h in handlers
         ]
         assignments: list[Assignment] = []
         support_row = self.support_row
-        depth = self.queue_depth
         for task in ready:
             row = support_row(task, handlers)
             best_i = -1

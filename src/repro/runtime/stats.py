@@ -9,13 +9,17 @@ queue, run the policy, and communicate tasks to resource managers.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.common.errors import EmulationError
+from repro.common.log import get_logger
 from repro.common.units import to_msec, to_sec
 from repro.hardware.pe import ProcessingElement
+
+_log = get_logger("runtime.stats")
 
 
 @dataclass(frozen=True)
@@ -51,11 +55,30 @@ class PEUsage:
     tasks_executed: int = 0
     active_power_w: float = 0.0
     idle_power_w: float = 0.0
+    _overrun_warned: bool = False
 
-    def utilization(self, makespan: float) -> float:
+    def utilization(self, makespan: float, *, strict: bool = False) -> float:
+        """Busy fraction of the makespan, clamped to [0, 1].
+
+        Busy time exceeding the makespan means double accounting somewhere
+        upstream; that is surfaced (warning, or :class:`EmulationError`
+        under ``strict``) instead of silently hidden by the clamp.
+        """
         if makespan <= 0:
             return 0.0
-        return min(1.0, self.busy_time / makespan)
+        util = self.busy_time / makespan
+        if util > 1.0 + 1e-9:
+            msg = (
+                f"PE {self.pe_name}: busy_time {self.busy_time:.1f}us exceeds "
+                f"makespan {makespan:.1f}us (utilization {util:.4f}) — "
+                "double-accounted service time?"
+            )
+            if strict:
+                raise EmulationError(msg)
+            if not self._overrun_warned:
+                self._overrun_warned = True
+                _log.warning(msg)
+        return min(1.0, util)
 
     def energy_joules(self, makespan: float) -> float:
         """Busy at active power, remainder at idle power (µs·W → J)."""
@@ -80,6 +103,26 @@ class EmulationStats:
         self.emulation_end: float = 0.0
         self.policy_name: str = ""
         self.config_label: str = ""
+        #: raise (instead of warn) on busy-time > makespan accounting bugs
+        self.strict_accounting: bool = False
+        # -- fault-tolerance accounting (see runtime.faults) ----------------
+        #: applications terminally degraded (no live capable PE remained)
+        self.apps_degraded: int = 0
+        #: permanent PE failures injected
+        self.pe_failures: int = 0
+        #: transient kernel/DMA faults observed (one per failed attempt)
+        self.transient_faults: int = 0
+        #: in-place retry attempts after transient faults
+        self.task_retries: int = 0
+        #: WM-level reschedules (PE failure orphans + retry exhaustion)
+        self.tasks_requeued: int = 0
+        #: whether a fault injector was attached to the run at all
+        self.faults_enabled: bool = False
+        #: ordered fault events: {"t_us", "kind", "pe", ...}
+        self.fault_timeline: list[dict] = []
+        # Threaded-backend RM threads record faults concurrently; the
+        # counters above are composite updates, so guard them.
+        self._fault_lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------------
 
@@ -126,6 +169,56 @@ class EmulationStats:
         )
         self.emulation_end = max(self.emulation_end, instance.finish_time)
 
+    # -- fault recording (thread-safe) ---------------------------------------------
+
+    def record_pe_failure(self, pe_name: str, now: float) -> None:
+        with self._fault_lock:
+            self.pe_failures += 1
+            self.fault_timeline.append(
+                {"t_us": round(now, 3), "kind": "pe_failure", "pe": pe_name}
+            )
+
+    def record_transient_fault(
+        self, pe_name: str, task_name: str, attempt: int, now: float, kind: str
+    ) -> None:
+        """One failed execution attempt (and the retry it triggers)."""
+        with self._fault_lock:
+            self.transient_faults += 1
+            self.task_retries += 1
+            self.fault_timeline.append(
+                {
+                    "t_us": round(now, 3),
+                    "kind": kind,
+                    "pe": pe_name,
+                    "task": task_name,
+                    "attempt": attempt,
+                }
+            )
+
+    def record_requeue(self, task, pe_name: str, now: float, kind: str) -> None:
+        """Task handed back to the WM (PE failure orphan or retry exhaustion)."""
+        with self._fault_lock:
+            self.tasks_requeued += 1
+            self.fault_timeline.append(
+                {
+                    "t_us": round(now, 3),
+                    "kind": kind,
+                    "pe": pe_name,
+                    "task": task.qualified_name(),
+                }
+            )
+
+    def record_app_degradation(self, instance, now: float) -> None:
+        with self._fault_lock:
+            self.apps_degraded += 1
+            self.fault_timeline.append(
+                {
+                    "t_us": round(now, 3),
+                    "kind": "app_degraded",
+                    "app": f"{instance.app_name}#{instance.instance_id}",
+                }
+            )
+
     # -- aggregates ----------------------------------------------------------------
 
     @property
@@ -152,7 +245,8 @@ class EmulationStats:
         """Per-PE usage-time / workload-execution-time (Fig. 9b)."""
         span = self.makespan
         return {
-            name: usage.utilization(span) for name, usage in self.pe_usage.items()
+            name: usage.utilization(span, strict=self.strict_accounting)
+            for name, usage in self.pe_usage.items()
         }
 
     def pe_energy(self) -> dict[str, float]:
@@ -168,9 +262,11 @@ class EmulationStats:
         return float(np.mean(times))
 
     def assert_all_complete(self) -> None:
-        if self.apps_completed != self.apps_injected:
+        """Every injected application either completed or was degraded."""
+        accounted = self.apps_completed + self.apps_degraded
+        if accounted != self.apps_injected:
             raise EmulationError(
-                f"{self.apps_injected - self.apps_completed} of "
+                f"{self.apps_injected - accounted} of "
                 f"{self.apps_injected} applications did not complete"
             )
 
@@ -185,12 +281,13 @@ class EmulationStats:
     def summary(self) -> dict:
         """Flat report dict (what the bench harnesses print)."""
         energy = self.pe_energy()
-        return {
+        report = {
             "label": self.label,
             "config": self.config_label,
             "policy": self.policy_name,
             "apps_injected": self.apps_injected,
             "apps_completed": self.apps_completed,
+            "apps_degraded": self.apps_degraded,
             "tasks": self.task_count,
             "makespan_ms": round(to_msec(self.makespan), 4),
             "makespan_s": round(to_sec(self.makespan), 6),
@@ -205,3 +302,12 @@ class EmulationStats:
                 k: round(v, 4) for k, v in self.mean_response_times().items()
             },
         }
+        if self.faults_enabled or self.fault_timeline or self.apps_degraded:
+            report["faults"] = {
+                "pe_failures": self.pe_failures,
+                "transient_faults": self.transient_faults,
+                "task_retries": self.task_retries,
+                "tasks_requeued": self.tasks_requeued,
+                "timeline": list(self.fault_timeline),
+            }
+        return report

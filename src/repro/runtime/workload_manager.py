@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from itertools import islice
 
-from repro.appmodel.instance import ApplicationInstance, TaskInstance
+from repro.appmodel.instance import ApplicationInstance, TaskInstance, TaskState
 from repro.common.errors import EmulationError
+from repro.runtime.faults import FaultInjector
 from repro.runtime.handler import PEStatus, ResourceHandler
 from repro.runtime.schedulers.base import Assignment, Scheduler, validate_assignments
 from repro.runtime.stats import EmulationStats
@@ -105,6 +106,7 @@ class WorkloadManagerCore:
         stats: EmulationStats,
         *,
         validate: bool = True,
+        faults: FaultInjector | None = None,
     ) -> None:
         # Workload queue, ordered by arrival (the application handler built it so).
         self.instances = instances
@@ -112,9 +114,13 @@ class WorkloadManagerCore:
         self.scheduler = scheduler
         self.stats = stats
         self.validate = validate
+        self.faults = faults
         self.ready = ReadyList()
         self.arrival_idx = 0
         self.apps_completed = 0
+        self.apps_degraded = 0
+        #: set once any PE has permanently failed (enables recheck paths)
+        self.any_failed = False
         self.tasks_outstanding = sum(i.task_count for i in instances)
 
     # -- queries ---------------------------------------------------------------
@@ -124,7 +130,8 @@ class WorkloadManagerCore:
         return len(self.instances)
 
     def all_complete(self) -> bool:
-        return self.apps_completed == self.n_apps
+        """Every app is accounted for: completed normally or degraded."""
+        return self.apps_completed + self.apps_degraded == self.n_apps
 
     def next_arrival(self) -> float | None:
         """Arrival time of the workload queue's head, or None when drained."""
@@ -158,7 +165,10 @@ class WorkloadManagerCore:
             if handler.finished_tasks:
                 handler.drain_finished()
             newly_ready = task.app.on_task_complete(task, now)
-            self.ready.extend(newly_ready)
+            # Successors of a degraded app will never run; they were removed
+            # from the outstanding count when the app was degraded.
+            if not task.app.degraded:
+                self.ready.extend(newly_ready)
             self.stats.record_task(task, handler.pe)
             self.tasks_outstanding -= 1
             if task.app.is_complete:
@@ -189,6 +199,11 @@ class WorkloadManagerCore:
         if not self.ready:
             return []
         assignments = self.scheduler.schedule(self.ready, self.handlers, now)
+        # Under fault injection a PE can fail between the policy reading its
+        # status and this pass committing (threaded backend); drop such
+        # assignments here rather than tripping validation on them.
+        if self.any_failed and assignments:
+            assignments = [a for a in assignments if not a.handler.failed]
         if self.validate and assignments:
             validate_assignments(
                 assignments, self.ready,
@@ -223,32 +238,138 @@ class WorkloadManagerCore:
                     base = now
                 a.handler.estimated_free_time = base + est
 
+    # -- fault handling ---------------------------------------------------------
+
+    def absorb_pe_failure(
+        self, handler: ResourceHandler, orphans: list[TaskInstance], now: float
+    ) -> None:
+        """A PE permanently failed: requeue its surrendered work.
+
+        ``orphans`` is what :meth:`ResourceHandler.mark_failed` returned —
+        the in-flight task plus any reservation-queue bookings.  Orphaning
+        does not count against a task's requeue budget (``charge=False``).
+        Afterwards any application left without a live capable PE is
+        terminally degraded.
+        """
+        self.any_failed = True
+        self.stats.record_pe_failure(handler.name, handler.failed_at)
+        requeued: list[TaskInstance] = []
+        for task in orphans:
+            if task.state in (TaskState.DISPATCHED, TaskState.RUNNING):
+                task.mark_requeued(now, charge=False)
+            if task.app.degraded:
+                self.tasks_outstanding -= 1
+                continue
+            requeued.append(task)
+            self.stats.record_requeue(task, handler.name, now, "pe_failure_requeue")
+        if requeued:
+            self.ready.extend(requeued)
+        self.degrade_unrunnable(now)
+
+    def absorb_requeues(
+        self, items: list[tuple[ResourceHandler, TaskInstance]], now: float
+    ) -> None:
+        """Tasks whose PE exhausted in-place retries come back for rescheduling.
+
+        A task over its requeue budget terminally degrades its application;
+        tasks of already-degraded applications are dropped.
+        """
+        max_rq = self.faults.max_requeues if self.faults is not None else 0
+        requeued: list[TaskInstance] = []
+        for handler, task in items:
+            if task.app.degraded:
+                self.tasks_outstanding -= 1
+                continue
+            if task.fault_requeues > max_rq:
+                self._degrade_app(task.app, now)
+                continue
+            requeued.append(task)
+            self.stats.record_requeue(task, handler.name, now, "retry_exhausted")
+        if requeued:
+            self.ready.extend(requeued)
+
+    def recover_failed_dispatch(self, task: TaskInstance, now: float) -> None:
+        """Dispatch raced a concurrent PE failure: put the task back."""
+        task.mark_requeued(now, charge=False)
+        if task.app.degraded:
+            self.tasks_outstanding -= 1
+            return
+        self.ready.extend([task])
+
+    def degrade_unrunnable(self, now: float) -> None:
+        """Degrade apps whose ready tasks have no live supporting PE left."""
+        live_platforms: set[str] = set()
+        for h in self.handlers:
+            if not h.failed:
+                live_platforms.update(h.accepted_platforms)
+        doomed: list[ApplicationInstance] = []
+        for t in self.ready:
+            if t.app.degraded or t.app in doomed:
+                continue
+            if not (set(t.node.platform_names()) & live_platforms):
+                doomed.append(t.app)
+        for app in doomed:
+            self._degrade_app(app, now)
+
+    def _degrade_app(self, app: ApplicationInstance, now: float) -> None:
+        """Terminal degradation: the app can never finish on the live PEs.
+
+        Its queued work is discarded; tasks still in flight on live PEs run
+        to completion (their stats remain valid) but unlock nothing.
+        """
+        if app.degraded or app.is_complete:
+            return
+        app.degraded = True
+        self.apps_degraded += 1
+        in_ready = {id(t) for t in self.ready if t.app is app}
+        if in_ready:
+            self.ready.remove_ids(in_ready)
+        # Tasks that can no longer run: queued ones just removed, plus every
+        # not-yet-ready task.  Requeued tasks still in a backend channel are
+        # decremented by the absorb path that drops them.
+        pending = sum(
+            1 for t in app.tasks.values() if t.state is TaskState.PENDING
+        )
+        self.tasks_outstanding -= pending + len(in_ready)
+        self.stats.record_app_degradation(app, now)
+
     def check_liveness(self, now: float, pending_completions: int = 0) -> None:
         """Deadlock guard: work remains but nothing can ever progress.
 
         ``pending_completions`` is the backend's count of finished tasks
-        not yet run through :meth:`process_completions`; completions that
-        landed while the scheduling pass was executing still unlock work,
-        so they defer the verdict to the next pass.
+        (or fault events) not yet run through the absorb/monitor steps;
+        those still unlock work, so they defer the verdict to the next
+        pass.
         """
         if self.all_complete() or pending_completions:
             return
-        any_running = any(h.status is not PEStatus.IDLE for h in self.handlers)
+        # FAILED is terminal, not "busy": only RUN/COMPLETE PEs make progress.
+        any_running = any(
+            h.status in (PEStatus.RUN, PEStatus.COMPLETE) for h in self.handlers
+        )
         if any_running or self.next_arrival() is not None:
             return
         if self.ready:
             supported: set[str] = set()
             for h in self.handlers:
-                supported.update(h.accepted_platforms)
+                if not h.failed:
+                    supported.update(h.accepted_platforms)
             stuck = [
-                t.qualified_name()
+                t
                 for t in self.ready
                 if not (set(t.node.platform_names()) & supported)
             ]
+            if stuck and self.any_failed:
+                # PEs died under us: degrade instead of crashing the run.
+                self.degrade_unrunnable(now)
+                if not self.all_complete() and self.ready:
+                    return  # runnable work remains for the next pass
+                return
             if stuck:
+                names = [t.qualified_name() for t in stuck]
                 raise EmulationError(
                     f"deadlock at t={now:.1f}us: tasks with no supporting PE "
-                    f"in this configuration: {stuck[:5]}"
+                    f"in this configuration: {names[:5]}"
                 )
         else:
             raise EmulationError(

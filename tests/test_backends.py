@@ -196,6 +196,86 @@ class TestThreadedBackend:
         with pytest.raises(EmulationError, match="kaboom"):
             emu.run(validation_workload({"diamond": 1}), ThreadedBackend())
 
+    def test_kernel_failure_fail_stops_pe(self):
+        from repro.runtime.handler import PEStatus
+
+        graph = make_diamond_graph()
+        lib = make_diamond_library()
+
+        def broken(ctx):
+            raise RuntimeError("kaboom")
+
+        lib.register_symbol("diamond.so", "k_c", broken)
+        emu = Emulation(
+            config="2C+0F", policy="frfs",
+            applications={"diamond": graph}, library=lib,
+        )
+        session = emu.build_session(validation_workload({"diamond": 1}))
+        with pytest.raises(EmulationError, match="kaboom"):
+            ThreadedBackend().run(session)
+        # The crashing RM fail-stopped its PE: nothing is left stuck in RUN.
+        assert all(h.status is not PEStatus.RUN for h in session.handlers)
+        assert any(h.status is PEStatus.FAILED for h in session.handlers)
+
+    def test_hanging_kernel_reported_after_timeout(self, caplog):
+        import time as _time
+
+        graph = make_diamond_graph()
+        lib = make_diamond_library()
+
+        def hang(ctx):
+            _time.sleep(2.0)
+
+        lib.register_symbol("diamond.so", "k_a", hang)
+        emu = Emulation(
+            config="2C+0F", policy="frfs",
+            applications={"diamond": graph}, library=lib,
+        )
+        backend = ThreadedBackend(timeout_s=0.3, join_timeout_s=0.1)
+        with caplog.at_level("WARNING"):
+            with pytest.raises(EmulationError, match="exceeded"):
+                emu.run(validation_workload({"diamond": 1}), backend)
+        alive_warnings = [
+            r.message for r in caplog.records if "still alive" in r.message
+        ]
+        assert alive_warnings and "rm-cpu" in alive_warnings[0]
+
+    def test_shutdown_with_task_reserved(self):
+        from repro.runtime.handler import PEStatus
+
+        graph = make_diamond_graph()
+        lib = make_diamond_library()
+
+        def broken(ctx):
+            raise RuntimeError("kaboom")
+
+        lib.register_symbol("diamond.so", "k_b", broken)
+        emu = Emulation(
+            config="2C+0F", policy="frfs_reserve",
+            applications={"diamond": graph}, library=lib,
+        )
+        session = emu.build_session(validation_workload({"diamond": 3}))
+        with pytest.raises(EmulationError, match="kaboom"):
+            ThreadedBackend().run(session)
+        # Reservation queues were aborted, not orphaned in RUN.
+        assert all(h.status is not PEStatus.RUN for h in session.handlers)
+
+    def test_concurrent_failures_all_reported(self):
+        graph = make_diamond_graph()
+        lib = make_diamond_library()
+
+        def broken(ctx):
+            raise RuntimeError("kaboom")
+
+        # A runs first on every instance: both CPUs hit the failure.
+        lib.register_symbol("diamond.so", "k_a", broken)
+        emu = Emulation(
+            config="2C+0F", policy="frfs",
+            applications={"diamond": graph}, library=lib,
+        )
+        with pytest.raises(EmulationError, match="kaboom"):
+            emu.run(validation_workload({"diamond": 4}), ThreadedBackend())
+
     def test_measured_overhead_recorded(self):
         emu = diamond_emulation()
         result = emu.run(validation_workload({"diamond": 2}), ThreadedBackend())
@@ -213,6 +293,30 @@ class TestThreadedBackend:
         result = emu.run(wl, ThreadedBackend())
         assert result.stats.apps_completed == 4
         assert result.makespan_us >= 15_000.0
+
+
+class TestCombineFailures:
+    def test_single_failure_returned_unchanged(self):
+        from repro.runtime.backends.threaded import combine_failures
+
+        original = RuntimeError("boom")
+        assert combine_failures([original]) is original
+
+    def test_multiple_failures_chained(self):
+        from repro.runtime.backends.threaded import combine_failures
+
+        first = RuntimeError("first")
+        second = ValueError("second")
+        err = combine_failures([first, second])
+        assert isinstance(err, EmulationError)
+        assert "first" in str(err) and "second" in str(err)
+        assert err.__cause__ is first
+
+    def test_no_failures_rejected(self):
+        from repro.runtime.backends.threaded import combine_failures
+
+        with pytest.raises(ValueError):
+            combine_failures([])
 
 
 class TestEmulationFacade:
