@@ -41,12 +41,17 @@ def box_stats(samples: list[float] | np.ndarray) -> BoxStats:
     if data.size == 0:
         raise ValueError("box_stats needs at least one sample")
     q1, median, q3 = np.percentile(data, [25, 50, 75])
+    minimum = float(data.min())
+    maximum = float(data.max())
+    # Pairwise summation can land the mean a few ULPs outside [min, max]
+    # (e.g. three identical samples); clamp so min <= mean <= max holds.
+    mean = min(max(float(data.mean()), minimum), maximum)
     return BoxStats(
-        minimum=float(data.min()),
+        minimum=minimum,
         q1=float(q1),
         median=float(median),
         q3=float(q3),
-        maximum=float(data.max()),
-        mean=float(data.mean()),
+        maximum=maximum,
+        mean=mean,
         n=int(data.size),
     )

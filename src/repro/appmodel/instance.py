@@ -187,6 +187,14 @@ class ApplicationInstance:
         self.finish_time: float = -1.0
         #: terminally degraded: no live PE can execute a remaining task
         self.degraded: bool = False
+        #: absolute QoS deadline (µs), set at session build when a QoS
+        #: spec names this application; None means no deadline
+        self.deadline: float | None = None
+        #: shed by admission control before completing
+        self.dropped: bool = False
+        #: True once any task has been dispatched (admission-control
+        #: bookkeeping: drop-oldest only sheds apps with no progress)
+        self.started: bool = False
 
     @property
     def app_name(self) -> str:

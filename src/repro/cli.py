@@ -12,8 +12,11 @@ Runs an emulation or regenerates an experiment from the shell::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
+import threading
 
 from repro.analysis.tables import format_table
 from repro.common.errors import ReproError
@@ -22,9 +25,18 @@ from repro.runtime.backends.threaded import ThreadedBackend
 from repro.runtime.backends.virtual import VirtualBackend
 from repro.runtime.emulation import Emulation
 from repro.runtime.faults import FaultSpec, FaultSpecError
+from repro.runtime.qos import QoSController, QoSSpec, QoSSpecError
 from repro.runtime.schedulers import available_policies
 from repro.runtime.workload import validation_workload
 from repro.experiments.workloads import TABLE_II_RATES, table_ii_workload
+
+#: Exit codes (see docs/qos.md): 0 success (including a budget-interrupted
+#: drain that flushed partial results), 1 framework error or failed sweep
+#: cells, 2 usage error, 130 signal-interrupted.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 130
 
 
 def _parse_apps(text: str) -> dict[str, int]:
@@ -51,8 +63,57 @@ def _backend(name: str):
     raise ReproError(f"unknown backend {name!r} (virtual | threaded)")
 
 
+def _qos_controller(args: argparse.Namespace) -> QoSController:
+    """One controller per run/perf invocation, even with no QoS spec: the
+    empty controller carries the interrupt flag the signal handlers set,
+    and an empty spec leaves the emulation bit-identical to a bare run."""
+    spec = QoSSpec.from_json_file(args.qos) if args.qos else None
+    return QoSController(spec, wall_budget_s=args.wall_budget)
+
+
+@contextlib.contextmanager
+def _graceful_signals(controller: QoSController):
+    """SIGINT/SIGTERM ask the running backend to drain-then-flush.
+
+    The original handlers are restored as soon as one signal fires, so a
+    second signal terminates the process the ordinary way.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield  # signal.signal is main-thread-only (e.g. pytest workers)
+        return
+    originals: dict[int, object] = {}
+
+    def restore() -> None:
+        while originals:
+            signum, previous = originals.popitem()
+            signal.signal(signum, previous)
+
+    def on_signal(signum, _frame) -> None:
+        controller.request_interrupt(signal.Signals(signum).name)
+        restore()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        originals[signum] = signal.signal(signum, on_signal)
+    try:
+        yield
+    finally:
+        restore()
+
+
+def _interrupt_exit_code(stats) -> int:
+    """130 for signal-interrupted runs; budget drains still exit 0."""
+    if stats.interrupted and stats.interrupt_reason in ("SIGINT", "SIGTERM"):
+        print(
+            f"run interrupted ({stats.interrupt_reason}); partial results "
+            "flushed", file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    return EXIT_OK
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     faults = FaultSpec.from_json_file(args.faults) if args.faults else None
+    controller = _qos_controller(args)
     emu = Emulation(
         platform=_platform(args.platform),
         config=args.config,
@@ -61,6 +122,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         jitter=not args.no_jitter,
         seed=args.seed,
         faults=faults,
+        qos=controller,
     )
     workload = validation_workload(_parse_apps(args.apps))
     backend = _backend(args.backend)
@@ -75,7 +137,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         session = emu.build_session(workload)
         profiler = cProfile.Profile()
         profiler.enable()
-        stats = backend.run(session)
+        with _graceful_signals(controller):
+            stats = backend.run(session)
         profiler.disable()
         profiler.dump_stats(args.profile)
         result = EmulationResult(
@@ -87,7 +150,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         print(f"profile written to {args.profile}", file=sys.stderr)
     else:
-        result = emu.run(workload, backend)
+        with _graceful_signals(controller):
+            result = emu.run(workload, backend)
     if args.json:
         from repro.analysis.trace_export import records_as_dicts
 
@@ -117,7 +181,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         # keep stdout machine-readable under --json
         print(f"trace written to {args.trace}",
               file=sys.stderr if args.json else sys.stdout)
-    return 0
+    return _interrupt_exit_code(result.stats)
 
 
 def _parse_list(text: str) -> list[str]:
@@ -151,6 +215,7 @@ def _sweep_grid(args: argparse.Namespace):
         jitter=args.jitter,
         backend=args.backend,
         faults=_parse_faults_axis(args.faults),
+        qos=_parse_qos_axis(args.qos),
     )
 
 
@@ -175,6 +240,42 @@ def _parse_faults_axis(path: str) -> tuple[dict | None, ...]:
     return tuple(axis)
 
 
+def _parse_qos_axis(path: str) -> tuple[dict | None, ...]:
+    """A QoS axis from a JSON file, same shape as the fault axis."""
+    if not path:
+        return (None,)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise QoSSpecError(f"cannot load QoS axis {path!r}: {exc}") from exc
+    entries = data if isinstance(data, list) else [data]
+    axis = []
+    for entry in entries:
+        if entry is None:
+            axis.append(None)
+        else:
+            axis.append(QoSSpec.from_dict(entry).to_dict())
+    return tuple(axis)
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Make SIGTERM raise KeyboardInterrupt (sweep shutdown path)."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def on_signal(_signum, _frame) -> None:
+        raise KeyboardInterrupt
+
+    original = signal.signal(signal.SIGTERM, on_signal)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, original)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a DSE campaign: expand the grid, execute cells in parallel."""
     from repro.analysis.figures import pareto_chart
@@ -195,16 +296,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"[{done:>4}/{total}] {result.cell.label:<40} {status}{extra}",
               file=sys.stderr)
 
-    campaign = run_campaign(
-        grid,
-        out_dir=out_dir,
-        jobs=args.jobs,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        resume=args.resume,
-        force=args.force,
-        progress=progress,
-    )
+    # SIGTERM behaves like Ctrl-C: the campaign journals in-flight cells as
+    # interrupted (so --resume re-runs only those) before the interrupt
+    # propagates to main(), which exits 130.
+    with _sigterm_as_interrupt():
+        campaign = run_campaign(
+            grid,
+            out_dir=out_dir,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+            force=args.force,
+            progress=progress,
+        )
 
     if args.json:
         print(json.dumps(
@@ -234,17 +339,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_perf(args: argparse.Namespace) -> int:
     if args.rate not in TABLE_II_RATES:
         print(f"rate must be one of {TABLE_II_RATES}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    controller = _qos_controller(args)
     emu = Emulation(
         platform=_platform(args.platform),
         config=args.config,
         policy=args.policy,
         materialize_memory=False,
         jitter=False,
+        qos=controller,
     )
-    result = emu.run(table_ii_workload(args.rate), VirtualBackend())
+    with _graceful_signals(controller):
+        result = emu.run(table_ii_workload(args.rate), VirtualBackend())
     print(json.dumps(result.stats.summary(), indent=2))
-    return 0
+    return _interrupt_exit_code(result.stats)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -372,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-jitter", action="store_true")
     run_p.add_argument("--faults", default="",
                        help="fault-spec JSON file (see docs/faults.md)")
+    run_p.add_argument("--qos", default="",
+                       help="QoS-spec JSON file (see docs/qos.md)")
+    run_p.add_argument("--wall-budget", type=float, default=None,
+                       help="wall-clock run budget in seconds; on expiry "
+                            "the run drains and flushes partial results")
     run_p.add_argument("--gantt", action="store_true",
                        help="print an ASCII Gantt chart of the schedule")
     run_p.add_argument("--trace", default="",
@@ -389,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--config", default="3C+2F")
     perf_p.add_argument("--policy", default="frfs")
     perf_p.add_argument("--rate", type=float, default=1.71)
+    perf_p.add_argument("--qos", default="",
+                        help="QoS-spec JSON file (see docs/qos.md)")
+    perf_p.add_argument("--wall-budget", type=float, default=None,
+                        help="wall-clock run budget in seconds")
     perf_p.set_defaults(fn=cmd_perf)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -413,6 +530,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--faults", default="",
                          help="fault axis: JSON file with one fault spec or "
                               "a list of specs (null = fault-free cell)")
+    sweep_p.add_argument("--qos", default="",
+                         help="QoS axis: JSON file with one QoS spec or a "
+                              "list of specs (null = QoS-free cell)")
     sweep_p.add_argument("--iterations", type=int, default=1,
                          help="emulation iterations per cell")
     sweep_p.add_argument("--jitter", action="store_true",
@@ -479,9 +599,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -100,6 +100,8 @@ class SweepCell:
     backend: str = "virtual"
     #: fault spec in dict form (see runtime.faults), or None for fault-free
     faults: dict[str, Any] | None = None
+    #: QoS spec in dict form (see runtime.qos), or None for QoS-free
+    qos: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         doc = {
@@ -112,15 +114,18 @@ class SweepCell:
             "jitter": self.jitter,
             "backend": self.backend,
         }
-        # Serialized only when present so fault-free cell IDs (and cached
-        # results keyed on them) are unchanged from pre-fault campaigns.
+        # Serialized only when present so fault-free/QoS-free cell IDs (and
+        # cached results keyed on them) are unchanged from older campaigns.
         if self.faults is not None:
             doc["faults"] = dict(self.faults)
+        if self.qos is not None:
+            doc["qos"] = dict(self.qos)
         return doc
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> SweepCell:
         faults = data.get("faults")
+        qos = data.get("qos")
         return cls(
             platform=data.get("platform", "zcu102"),
             config=data["config"],
@@ -131,6 +136,7 @@ class SweepCell:
             jitter=bool(data.get("jitter", False)),
             backend=data.get("backend", "virtual"),
             faults=dict(faults) if faults is not None else None,
+            qos=dict(qos) if qos is not None else None,
         )
 
     @property
@@ -156,6 +162,8 @@ class SweepCell:
             parts.append(f"seed{self.seed}")
         if self.faults is not None:
             parts.append(str(self.faults.get("label") or "faults"))
+        if self.qos is not None:
+            parts.append(str(self.qos.get("label") or "qos"))
         return "/".join(parts)
 
 
@@ -179,6 +187,8 @@ class SweepGrid:
     backend: str = "virtual"
     #: fault axis: dict-form fault specs; None = a fault-free grid point
     faults: tuple[dict[str, Any] | None, ...] = (None,)
+    #: QoS axis: dict-form QoS specs; None = a QoS-free grid point
+    qos: tuple[dict[str, Any] | None, ...] = (None,)
 
     def __post_init__(self) -> None:
         if not self.configs:
@@ -195,6 +205,10 @@ class SweepGrid:
             raise ReproError(
                 "fault axis cannot be empty (use (None,) for fault-free)"
             )
+        if not self.qos:
+            raise ReproError(
+                "qos axis cannot be empty (use (None,) for QoS-free)"
+            )
 
     @property
     def size(self) -> int:
@@ -205,6 +219,7 @@ class SweepGrid:
             * len(self.policies)
             * len(self.seeds)
             * len(self.faults)
+            * len(self.qos)
         )
 
     def expand(self) -> list[SweepCell]:
@@ -215,23 +230,29 @@ class SweepGrid:
                     for policy in self.policies:
                         for seed in self.seeds:
                             for faults in self.faults:
-                                cells.append(
-                                    SweepCell(
-                                        platform=platform,
-                                        config=config,
-                                        policy=policy,
-                                        workload=dict(workload),
-                                        seed=seed,
-                                        iterations=self.iterations,
-                                        jitter=self.jitter,
-                                        backend=self.backend,
-                                        faults=(
-                                            dict(faults)
-                                            if faults is not None
-                                            else None
-                                        ),
+                                for qos in self.qos:
+                                    cells.append(
+                                        SweepCell(
+                                            platform=platform,
+                                            config=config,
+                                            policy=policy,
+                                            workload=dict(workload),
+                                            seed=seed,
+                                            iterations=self.iterations,
+                                            jitter=self.jitter,
+                                            backend=self.backend,
+                                            faults=(
+                                                dict(faults)
+                                                if faults is not None
+                                                else None
+                                            ),
+                                            qos=(
+                                                dict(qos)
+                                                if qos is not None
+                                                else None
+                                            ),
+                                        )
                                     )
-                                )
         return cells
 
     @property
@@ -257,6 +278,10 @@ class SweepGrid:
             doc["faults"] = [
                 dict(f) if f is not None else None for f in self.faults
             ]
+        if self.qos != (None,):
+            doc["qos"] = [
+                dict(q) if q is not None else None for q in self.qos
+            ]
         return doc
 
     @classmethod
@@ -264,7 +289,7 @@ class SweepGrid:
         """Build a grid from a campaign spec dict (JSON file contents)."""
         unknown = set(data) - {
             "platforms", "configs", "policies", "workloads", "seeds",
-            "iterations", "jitter", "backend", "faults",
+            "iterations", "jitter", "backend", "faults", "qos",
         }
         if unknown:
             raise ReproError(f"unknown sweep spec keys: {sorted(unknown)}")
@@ -282,6 +307,10 @@ class SweepGrid:
                 faults=tuple(
                     dict(f) if f is not None else None
                     for f in data.get("faults", (None,))
+                ),
+                qos=tuple(
+                    dict(q) if q is not None else None
+                    for q in data.get("qos", (None,))
                 ),
             )
         except KeyError as exc:

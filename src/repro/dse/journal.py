@@ -23,6 +23,7 @@ EVENT_CELL_START = "cell_start"
 EVENT_CELL_FINISH = "cell_finish"
 EVENT_CELL_ERROR = "cell_error"
 EVENT_CELL_CACHED = "cell_cached"
+EVENT_CELL_INTERRUPTED = "cell_interrupted"
 
 
 class Journal:
@@ -62,12 +63,15 @@ class JournalState:
     completed: set[str] = field(default_factory=set)
     errored: dict[str, int] = field(default_factory=dict)
     started: set[str] = field(default_factory=set)
+    interrupted: set[str] = field(default_factory=set)
     events: int = 0
 
     @property
     def incomplete(self) -> set[str]:
-        """Cells that started (or errored) but never finished."""
-        return (self.started | set(self.errored)) - self.completed
+        """Cells that started (or errored/interrupted) but never finished."""
+        return (
+            self.started | set(self.errored) | self.interrupted
+        ) - self.completed
 
 
 def read_events(path: str | Path) -> list[dict[str, Any]]:
@@ -105,4 +109,7 @@ def replay(path: str | Path) -> JournalState:
             state.completed.add(cell_id)
         elif event == EVENT_CELL_ERROR:
             state.errored[cell_id] = state.errored.get(cell_id, 0) + 1
+        elif event == EVENT_CELL_INTERRUPTED:
+            # Interrupted cells stay incomplete: --resume re-runs them.
+            state.interrupted.add(cell_id)
     return state

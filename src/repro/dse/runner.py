@@ -89,10 +89,13 @@ def execute_cell(cell_data: dict[str, Any]) -> dict[str, Any]:
             jitter=cell.jitter,
             seed=cell.seed,
             faults=cell.faults,
+            qos=cell.qos,
         )
         last = emu.run(workload, _make_backend(cell.backend), run_index=it)
         makespans_us.append(last.stats.makespan)
         overheads_us.append(last.stats.avg_scheduling_overhead())
+        if last.stats.interrupted:
+            break  # budget drained: further iterations would drain it too
     assert last is not None
     stats = last.stats
 
@@ -131,6 +134,19 @@ def execute_cell(cell_data: dict[str, Any]) -> dict[str, Any]:
             "task_retries": stats.task_retries,
             "tasks_requeued": stats.tasks_requeued,
         }
+    if stats.qos_enabled or stats.apps_dropped or stats.watchdog_failstops:
+        metrics["qos"] = {
+            "apps_dropped": stats.apps_dropped,
+            "apps_on_time": stats.apps_on_time,
+            "apps_late": stats.apps_late,
+            "watchdog_failstops": stats.watchdog_failstops,
+            "response_percentiles": stats.response_percentiles(),
+        }
+    if stats.interrupted:
+        # A cell whose QoS budget drained mid-run: the metrics are partial
+        # (remaining iterations skipped) and flagged so analysis can tell.
+        metrics["interrupted"] = True
+        metrics["interrupt_reason"] = stats.interrupt_reason
     if cell.backend == "threaded":
         metrics["outputs_correct"] = last.verify_outputs()
     return metrics
@@ -272,6 +288,15 @@ class _Recorder:
                 attempt=attempt,
             )
 
+    def on_interrupt(self, cell: SweepCell) -> None:
+        """Record a cell cut short by SIGINT/SIGTERM (stays incomplete)."""
+        if self.journal:
+            self.journal.append(
+                journal_mod.EVENT_CELL_INTERRUPTED,
+                cell_id=cell.cell_id,
+                label=cell.label,
+            )
+
     def on_result(self, result: CellResult) -> None:
         self.collected[result.cell.cell_id] = result
         self.done += 1
@@ -316,6 +341,11 @@ def _run_inline(
             recorder.on_start(cell, attempt)
             try:
                 metrics = execute_cell(cell.to_dict())
+            except KeyboardInterrupt:
+                # Ctrl-C / SIGTERM mid-cell: journal it as interrupted so
+                # --resume re-runs exactly this cell, then unwind.
+                recorder.on_interrupt(cell)
+                raise
             except Exception as exc:  # noqa: BLE001 — isolate cell failures
                 last_error = f"{type(exc).__name__}: {exc}"
                 continue
@@ -415,6 +445,13 @@ def _run_parallel(
                 in_flight.clear()
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = ProcessPoolExecutor(max_workers=jobs)
+    except KeyboardInterrupt:
+        # Journal every in-flight cell as interrupted (workers get the
+        # signal too and die with the pool); --resume re-runs only these.
+        for fut, (cell, _attempt, _t0) in in_flight.items():
+            fut.cancel()
+            recorder.on_interrupt(cell)
+        raise
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 
@@ -504,6 +541,16 @@ def run_campaign(
                 cells=len(cells),
                 failed=failed,
             )
+    except KeyboardInterrupt:
+        if journal:
+            done = sum(1 for r in recorder.collected.values() if r.ok)
+            journal.append(
+                journal_mod.EVENT_CAMPAIGN_END,
+                cells=len(cells),
+                completed=done,
+                interrupted=True,
+            )
+        raise
     finally:
         if journal:
             journal.close()

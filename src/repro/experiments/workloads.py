@@ -9,6 +9,9 @@
 
 from __future__ import annotations
 
+import math
+
+from repro.common.errors import ApplicationSpecError
 from repro.common.units import MS
 from repro.runtime.workload import (
     WorkloadSpec,
@@ -61,6 +64,16 @@ def table_ii_workload(rate: float) -> WorkloadSpec:
 
 def counts_at_rate(rate: float, time_frame: float = TIME_FRAME_US) -> dict[str, int]:
     """Instance counts for an arbitrary rate using the Table II mix."""
+    # A zero/negative/NaN rate would otherwise quietly clamp to one
+    # instance per app via max(1, ...) and misreport the cell it labels.
+    if not math.isfinite(rate) or rate <= 0:
+        raise ApplicationSpecError(
+            f"injection rate must be positive, got {rate}"
+        )
+    if not math.isfinite(time_frame) or time_frame <= 0:
+        raise ApplicationSpecError(
+            f"time_frame must be positive, got {time_frame}"
+        )
     total_jobs = rate * (time_frame / MS)
     counts: dict[str, int] = {}
     for app, share in MIX_SHARES.items():

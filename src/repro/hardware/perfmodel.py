@@ -236,7 +236,12 @@ class SchedulerCostModel:
 
     def policy_cost(self, policy: str, ready_len: int, n_pes: int) -> float:
         """The heuristic's compute time for one invocation (reference core)."""
-        c0, coeff, power = self._coeffs.get(policy, self.default_coeffs)
+        coeffs = self._coeffs.get(policy)
+        if coeffs is None and "+" in policy:
+            # Policy variants (e.g. "frfs+edf") cost like their base policy;
+            # the EDF tie-break is a ready-list sort, dominated by it.
+            coeffs = self._coeffs.get(policy.partition("+")[0])
+        c0, coeff, power = coeffs if coeffs is not None else self.default_coeffs
         if power == 0:
             scale = 1.0
         elif power == 1:

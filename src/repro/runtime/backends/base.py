@@ -13,6 +13,7 @@ from repro.hardware.platform import SoCPlatform
 from repro.runtime.application_handler import ApplicationHandler
 from repro.runtime.faults import FaultInjector
 from repro.runtime.handler import ResourceHandler
+from repro.runtime.qos import QoSController
 from repro.runtime.schedulers.base import Scheduler
 from repro.runtime.stats import EmulationStats
 
@@ -96,6 +97,8 @@ class EmulationSession:
     validate_assignments: bool = True
     #: fault injector, or None for a fault-free run (see runtime.faults)
     faults: FaultInjector | None = None
+    #: QoS controller, or None for a guardrail-free run (see runtime.qos)
+    qos: QoSController | None = None
 
     @property
     def n_pes(self) -> int:

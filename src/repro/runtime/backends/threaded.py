@@ -123,7 +123,10 @@ class ThreadedBackend(ExecutionBackend):
             session.stats,
             validate=session.validate_assignments,
             faults=session.faults,
+            qos=session.qos,
         )
+        if session.qos is not None:
+            session.qos.start_run()
         # Reference start time: all timestamps are µs since this instant.
         ref = time.perf_counter()
 
@@ -180,6 +183,10 @@ class ThreadedBackend(ExecutionBackend):
                         pass
         if failure:
             raise combine_failures(failure)
+        if session.stats.interrupted:
+            # Drained early (signal or budget): partial stats are the
+            # deliverable, so the completeness invariant does not apply.
+            return session.stats
         session.stats.assert_all_complete()
         return session.stats
 
@@ -191,6 +198,10 @@ class ThreadedBackend(ExecutionBackend):
         if self.pin_threads:
             _try_pin(session.platform.management_core)
         deadline = time.perf_counter() + self.timeout_s
+        qos = session.qos
+        hb_timeout_us = qos.heartbeat_timeout_us if qos is not None else None
+        draining = False
+        drain_deadline = 0.0
         while not core.all_complete():
             if failure:
                 return
@@ -199,16 +210,62 @@ class ThreadedBackend(ExecutionBackend):
                     f"threaded emulation exceeded {self.timeout_s}s "
                     f"({core.apps_completed}/{core.n_apps} apps complete)"
                 )
+            if qos is not None and not draining:
+                reason = qos.poll()
+                if reason is not None:
+                    session.stats.mark_interrupted(reason, clock())
+                    _log.warning(
+                        "threaded emulation draining (%s); waiting up to "
+                        "%.1fs for in-flight tasks",
+                        reason, self.join_timeout_s,
+                    )
+                    draining = True
+                    drain_deadline = time.perf_counter() + self.join_timeout_s
+            if draining:
+                # Graceful shutdown: stop injecting/scheduling, absorb what
+                # finishes, and exit once every PE is quiet (or the drain
+                # deadline passes — a hung kernel must not hold us hostage).
+                with wm_condition:
+                    batch = list(completed)
+                    completed.clear()
+                    fail_batch = list(pe_failures)
+                    pe_failures.clear()
+                    req_batch = list(requeues)
+                    requeues.clear()
+                now = clock()
+                core.process_completions(batch, now)
+                for failed_handler, orphans in fail_batch:
+                    core.absorb_pe_failure(failed_handler, orphans, now)
+                if req_batch:
+                    core.absorb_requeues(req_batch, now)
+                busy = any(
+                    h.status in (PEStatus.RUN, PEStatus.COMPLETE)
+                    for h in session.handlers
+                )
+                if not busy:
+                    with wm_condition:
+                        if not completed and not requeues and not pe_failures:
+                            return
+                elif time.perf_counter() > drain_deadline:
+                    _log.warning(
+                        "drain deadline exceeded; abandoning in-flight tasks"
+                    )
+                    return
+                with wm_condition:
+                    wm_condition.wait(timeout=self.poll_interval_s * 10)
+                continue
             with wm_condition:
                 if (
                     not completed
                     and not requeues
                     and not pe_failures
-                    and not core.has_due_arrival(clock())
+                    and not (
+                        core.has_due_arrival(clock()) and core.admission_open()
+                    )
                 ):
                     nxt = core.next_arrival()
                     wait_s = self.poll_interval_s
-                    if nxt is not None:
+                    if nxt is not None and core.admission_open():
                         wait_s = max(0.0, min(wait_s * 50, (nxt - clock()) / 1e6))
                         wait_s = max(wait_s, 1e-5)
                     wm_condition.wait(timeout=wait_s)
@@ -225,6 +282,8 @@ class ThreadedBackend(ExecutionBackend):
                 core.absorb_pe_failure(failed_handler, orphans, now)
             if req_batch:
                 core.absorb_requeues(req_batch, now)
+            if hb_timeout_us is not None:
+                self._check_heartbeats(session, core, now, hb_timeout_us)
             core.inject_due(now)
             ready_len = len(core.ready)
             assignments = core.run_policy(now)
@@ -235,6 +294,8 @@ class ThreadedBackend(ExecutionBackend):
                         a.handler.reserve(a.task)
                     else:
                         a.handler.assign(a.task)
+                    if hb_timeout_us is not None:
+                        a.handler.heartbeat = clock()
                 except PEFailedError:
                     # Lost the race against a concurrent PE failure.
                     core.recover_failed_dispatch(a.task, clock())
@@ -251,6 +312,34 @@ class ThreadedBackend(ExecutionBackend):
                 with wm_condition:
                     if not completed and not requeues and not pe_failures:
                         raise
+
+    @staticmethod
+    def _check_heartbeats(session, core, now, hb_timeout_us):
+        """QoS watchdog: fail-stop PEs whose RM shows no sign of life.
+
+        A PE stuck in RUN with a stale heartbeat has a hung kernel (the RM
+        stamps the heartbeat at dispatch and around every attempt).  The
+        existing ``mark_failed`` path orphans its work for rescheduling on
+        the surviving PEs; the hung RM thread notices ``handler.failed``
+        when (if) its kernel returns and exits without touching the task.
+        """
+        for handler in session.handlers:
+            if handler.failed or handler.heartbeat < 0.0:
+                continue
+            if handler.status is not PEStatus.RUN:
+                continue
+            stale = now - handler.heartbeat
+            if stale <= hb_timeout_us:
+                continue
+            _log.warning(
+                "watchdog: PE %s unresponsive for %.0fms (timeout %.0fms); "
+                "fail-stopping it",
+                handler.name, stale / 1e3, hb_timeout_us / 1e3,
+            )
+            orphans = handler.mark_failed(now)
+            core.absorb_pe_failure(
+                handler, orphans, now, kind="watchdog_failstop"
+            )
 
     # -- resource-manager threads -----------------------------------------------------------
 
@@ -319,6 +408,10 @@ class ThreadedBackend(ExecutionBackend):
                     attempts = 0
                     requeued = False
                     while True:
+                        # Sign of life for the QoS watchdog: stamped before
+                        # every attempt, never *during* a kernel — which is
+                        # exactly what makes a hung kernel detectable.
+                        handler.heartbeat = clock()
                         injected = (
                             injector.draw_fault(handler)
                             if injector is not None
@@ -342,13 +435,23 @@ class ThreadedBackend(ExecutionBackend):
                                 handler.name, task.qualified_name(),
                                 attempts, clock(), kind,
                             )
+                            if handler.failed:
+                                # The watchdog (or a timed failure) already
+                                # fail-stopped this PE and orphaned the
+                                # task; it is no longer ours to touch.
+                                return
                             if attempts > injector.max_retries:
                                 # Retries exhausted: return the task to the
                                 # WM for rescheduling on another PE.
-                                task.mark_requeued(clock())
-                                next_task = handler.abort_task(
-                                    self_serve=self_serve
-                                )
+                                try:
+                                    task.mark_requeued(clock())
+                                    next_task = handler.abort_task(
+                                        self_serve=self_serve
+                                    )
+                                except EmulationError:
+                                    if handler.failed:
+                                        return
+                                    raise
                                 with wm_condition:
                                     requeues.append((handler, task))
                                     wm_condition.notify_all()
@@ -360,6 +463,12 @@ class ThreadedBackend(ExecutionBackend):
                             )
                     if requeued:
                         continue
+                    if handler.failed:
+                        # The kernel returned after the watchdog fail-stopped
+                        # this PE: the task was orphaned and requeued (maybe
+                        # even re-dispatched elsewhere) — drop the stale
+                        # result and exit; the PE is terminally dead.
+                        return
                     if slowdown > 1.0:
                         # Model a degraded PE as a post-kernel stall
                         # proportional to the measured kernel time.
@@ -367,8 +476,15 @@ class ThreadedBackend(ExecutionBackend):
                         time.sleep(
                             min((slowdown - 1.0) * elapsed_us / 1e6, 0.25)
                         )
-                    task.mark_complete(clock())
-                    next_task = handler.finish_task(self_serve=self_serve)
+                    try:
+                        task.mark_complete(clock())
+                        next_task = handler.finish_task(self_serve=self_serve)
+                    except EmulationError:
+                        if handler.failed:
+                            # Lost the tiny race against a concurrent
+                            # watchdog fail-stop; same story as above.
+                            return
+                        raise
                     with wm_condition:
                         completed.append((handler, task))
                         wm_condition.notify_all()

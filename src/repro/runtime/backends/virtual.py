@@ -31,7 +31,7 @@ from repro.runtime.backends.base import (
     PerfModelOracle,
 )
 from repro.runtime.faults import FaultInjector
-from repro.runtime.handler import PEFailedError, ResourceHandler
+from repro.runtime.handler import PEFailedError, PEStatus, ResourceHandler
 from repro.runtime.stats import EmulationStats
 from repro.runtime.workload_manager import WorkloadManagerCore
 from repro.sim.engine import Engine
@@ -135,7 +135,10 @@ class VirtualBackend(ExecutionBackend):
             session.stats,
             validate=session.validate_assignments,
             faults=injector,
+            qos=session.qos,
         )
+        if session.qos is not None:
+            session.qos.start_run()
         waker = _Waker(engine)
         completed: deque[tuple[ResourceHandler, object]] = deque()
         #: tasks handed back by RMs after exhausting in-place retries
@@ -173,6 +176,10 @@ class VirtualBackend(ExecutionBackend):
             "events_scheduled": engine._seq,
             "final_time_us": engine.now,
         }
+        if session.stats.interrupted:
+            # Drained early (signal or budget): partial stats are the
+            # deliverable, so the completeness invariants do not apply.
+            return session.stats
         if not core.all_complete():
             raise EmulationError(
                 f"virtual emulation stalled: {core.apps_completed}/"
@@ -237,21 +244,54 @@ class VirtualBackend(ExecutionBackend):
         policy = session.scheduler.name
         self_serve = session.scheduler.uses_reservation
         n_pes = session.n_pes
+        qos = session.qos
+        draining = False
         wm_token = object()  # identity on the management core
 
         while not core.all_complete():
+            if qos is not None and not draining:
+                reason = qos.poll(engine.now)
+                if reason is not None:
+                    session.stats.mark_interrupted(reason, engine.now)
+                    _log.warning(
+                        "virtual emulation draining at t=%.1fus (%s)",
+                        engine.now, reason,
+                    )
+                    draining = True
+            if draining:
+                # Graceful shutdown: absorb whatever already finished, stop
+                # injecting/scheduling, and exit once every PE is quiet.
+                now = engine.now
+                core.process_completions(completed, now)
+                completed.clear()
+                while fault_events:
+                    failed_handler, orphans = fault_events.popleft()
+                    core.absorb_pe_failure(failed_handler, orphans, now)
+                if requeues:
+                    core.absorb_requeues(list(requeues), now)
+                    requeues.clear()
+                if not any(
+                    h.status in (PEStatus.RUN, PEStatus.COMPLETE)
+                    for h in session.handlers
+                ):
+                    return
+                yield waker.wait_event()
+                continue
             # Sleep until something is actionable: a buffered completion, a
             # fault event to absorb, or the workload queue's head arrival
-            # coming due.
+            # coming due (and admittable — a defer-blocked arrival waits
+            # for the completion that frees capacity, not for a timer).
             if (
                 not completed
                 and not fault_events
                 and not requeues
-                and not core.has_due_arrival(engine.now)
+                and not (
+                    core.has_due_arrival(engine.now) and core.admission_open()
+                )
             ):
                 wait = waker.wait_event()
                 nxt = core.next_arrival()
-                if nxt is not None:
+                if nxt is not None and core.admission_open():
                     engine.call_at(max(nxt, engine.now), waker.wake)
                 yield wait
                 continue  # re-evaluate state at the wakeup instant

@@ -32,6 +32,7 @@ from repro.runtime.backends.base import EmulationSession, ExecutionBackend
 from repro.runtime.backends.virtual import VirtualBackend
 from repro.runtime.faults import FaultSpec, make_injector
 from repro.runtime.handler import ResourceHandler
+from repro.runtime.qos import QoSController, QoSSpec, make_qos
 from repro.runtime.schedulers import Scheduler, make_scheduler
 from repro.runtime.stats import EmulationStats
 from repro.runtime.workload import WorkloadSpec
@@ -90,6 +91,7 @@ class Emulation:
         materialize_memory: bool = True,
         validate_assignments: bool = True,
         faults: FaultSpec | dict | None = None,
+        qos: QoSController | QoSSpec | dict | None = None,
     ) -> None:
         self.platform = platform if platform is not None else zcu102()
         self.config = (
@@ -113,6 +115,9 @@ class Emulation:
         #: fault plan (FaultSpec, its dict form, or None); an empty spec is
         #: equivalent to None — the run stays bit-identical to fault-free
         self.faults = faults
+        #: QoS plan (QoSController, QoSSpec, its dict form, or None); an
+        #: empty spec is equivalent to None, same bit-identity guarantee
+        self.qos = qos
 
     # -- the initialization phase + emulation ---------------------------------------------
 
@@ -150,6 +155,12 @@ class Emulation:
             seeds = seeds.spawn("run", run_index)
         injector = make_injector(self.faults, seeds)
         stats.faults_enabled = injector is not None
+        qos = make_qos(self.qos)
+        if qos is not None:
+            # An empty-spec controller only carries the interrupt flag for
+            # signal handling; it must not grow the stats summary.
+            stats.qos_enabled = not qos.spec.is_empty
+            qos.assign_deadlines(instances)
         return EmulationSession(
             platform=self.platform,
             plan=plan,
@@ -164,6 +175,7 @@ class Emulation:
             jitter=self.jitter,
             validate_assignments=self.validate_assignments,
             faults=injector,
+            qos=qos,
         )
 
     def run(

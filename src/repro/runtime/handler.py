@@ -91,6 +91,11 @@ class ResourceHandler:
         self.failed: bool = False
         #: time the PE failed (µs), or -1.0 while healthy
         self.failed_at: float = -1.0
+        #: last sign of life from this PE's RM (threaded-backend wall-clock
+        #: µs), stamped at dispatch and around kernel attempts; the QoS
+        #: watchdog fail-stops a PE stuck in RUN past its heartbeat timeout.
+        #: Plain float write/read — stale reads only delay detection.
+        self.heartbeat: float = -1.0
 
     # -- properties ------------------------------------------------------------
 

@@ -54,12 +54,26 @@ def register_policy(name: str, factory: SchedulerFactory,
 def make_scheduler(
     name: str, oracle: ExecutionTimeOracle | None = None
 ) -> Scheduler:
-    """Instantiate a policy by registry name."""
+    """Instantiate a policy by registry name.
+
+    A ``+edf`` suffix (e.g. ``frfs+edf``) wraps the base policy in the
+    deadline-aware EDF tie-break from :mod:`repro.runtime.qos`.
+    """
+    base_name, _, variant = name.partition("+")
     try:
-        factory = _REGISTRY[name]
+        factory = _REGISTRY[base_name]
     except KeyError:
         raise SchedulingError(
             f"unknown scheduling policy {name!r} "
             f"(available: {available_policies()})"
         ) from None
-    return factory(oracle)
+    scheduler = factory(oracle)
+    if not variant:
+        return scheduler
+    if variant == "edf":
+        from repro.runtime.qos import EDFScheduler
+
+        return EDFScheduler(scheduler)
+    raise SchedulingError(
+        f"unknown policy variant {variant!r} in {name!r} (only '+edf')"
+    )

@@ -123,6 +123,21 @@ class EmulationStats:
         # Threaded-backend RM threads record faults concurrently; the
         # counters above are composite updates, so guard them.
         self._fault_lock = threading.Lock()
+        # -- QoS accounting (see runtime.qos) -------------------------------
+        #: whether a QoS controller was attached to the run at all
+        self.qos_enabled: bool = False
+        #: applications shed by admission control
+        self.apps_dropped: int = 0
+        #: completed applications that met / missed their deadline
+        self.apps_on_time: int = 0
+        self.apps_late: int = 0
+        #: per-app slack samples (deadline − finish, µs; negative = late)
+        self.app_slack: dict[str, list[float]] = {}
+        #: hung-kernel fail-stops issued by the threaded watchdog
+        self.watchdog_failstops: int = 0
+        #: run stopped early (signal or budget); stats cover work done so far
+        self.interrupted: bool = False
+        self.interrupt_reason: str = ""
 
     # -- recording -----------------------------------------------------------------
 
@@ -168,14 +183,49 @@ class EmulationStats:
             instance.response_time()
         )
         self.emulation_end = max(self.emulation_end, instance.finish_time)
+        if instance.deadline is not None:
+            slack = instance.deadline - instance.finish_time
+            self.app_slack.setdefault(instance.app_name, []).append(slack)
+            if slack >= 0:
+                self.apps_on_time += 1
+            else:
+                self.apps_late += 1
+
+    def record_app_drop(self, instance, now: float, reason: str) -> None:
+        """Application shed by admission control before completing."""
+        with self._fault_lock:
+            self.apps_dropped += 1
+            self.fault_timeline.append(
+                {
+                    "t_us": round(now, 3),
+                    "kind": "app_dropped",
+                    "app": f"{instance.app_name}#{instance.instance_id}",
+                    "reason": reason,
+                }
+            )
+
+    def mark_interrupted(self, reason: str, now: float) -> None:
+        """Flag the run as stopped early (signal or watchdog budget)."""
+        with self._fault_lock:
+            if not self.interrupted:
+                self.interrupted = True
+                self.interrupt_reason = reason
+                self.fault_timeline.append(
+                    {"t_us": round(now, 3), "kind": "interrupted",
+                     "reason": reason}
+                )
 
     # -- fault recording (thread-safe) ---------------------------------------------
 
-    def record_pe_failure(self, pe_name: str, now: float) -> None:
+    def record_pe_failure(
+        self, pe_name: str, now: float, *, kind: str = "pe_failure"
+    ) -> None:
         with self._fault_lock:
             self.pe_failures += 1
+            if kind == "watchdog_failstop":
+                self.watchdog_failstops += 1
             self.fault_timeline.append(
-                {"t_us": round(now, 3), "kind": "pe_failure", "pe": pe_name}
+                {"t_us": round(now, 3), "kind": kind, "pe": pe_name}
             )
 
     def record_transient_fault(
@@ -262,13 +312,25 @@ class EmulationStats:
         return float(np.mean(times))
 
     def assert_all_complete(self) -> None:
-        """Every injected application either completed or was degraded."""
-        accounted = self.apps_completed + self.apps_degraded
+        """Every injected app completed, was degraded, or was dropped."""
+        accounted = self.apps_completed + self.apps_degraded + self.apps_dropped
         if accounted != self.apps_injected:
             raise EmulationError(
                 f"{self.apps_injected - accounted} of "
                 f"{self.apps_injected} applications did not complete"
             )
+
+    def response_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 response time over all completed apps, in ms."""
+        samples = [t for ts in self.app_response_times.values() for t in ts]
+        if not samples:
+            return {}
+        p50, p95, p99 = np.percentile(samples, [50, 95, 99])
+        return {
+            "p50_ms": round(to_msec(float(p50)), 4),
+            "p95_ms": round(to_msec(float(p95)), 4),
+            "p99_ms": round(to_msec(float(p99)), 4),
+        }
 
     def mean_response_times(self) -> dict[str, float]:
         """Mean response time per application in ms (empty apps omitted)."""
@@ -310,4 +372,22 @@ class EmulationStats:
                 "tasks_requeued": self.tasks_requeued,
                 "timeline": list(self.fault_timeline),
             }
+        # Conditional like "faults": runs without a QoS controller (and
+        # without drops/fail-stops) keep today's byte-identical summaries.
+        if self.qos_enabled or self.apps_dropped or self.watchdog_failstops:
+            report["qos"] = {
+                "apps_dropped": self.apps_dropped,
+                "apps_on_time": self.apps_on_time,
+                "apps_late": self.apps_late,
+                "watchdog_failstops": self.watchdog_failstops,
+                "response_percentiles": self.response_percentiles(),
+                "mean_slack_us": {
+                    app: round(float(np.mean(vals)), 3)
+                    for app, vals in sorted(self.app_slack.items())
+                    if vals
+                },
+            }
+        if self.interrupted:
+            report["interrupted"] = True
+            report["interrupt_reason"] = self.interrupt_reason
         return report

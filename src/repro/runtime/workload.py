@@ -87,8 +87,16 @@ def periodic_arrivals(
 ) -> list[float]:
     """Arrival instants for one application: every ``period`` µs within
     ``[0, time_frame)``, each kept with ``probability``."""
-    if period <= 0:
+    # NaN/inf would make every loop comparison False and spin forever, so
+    # reject non-finite parameters up front alongside the sign checks.
+    if not np.isfinite(period) or period <= 0:
         raise ApplicationSpecError(f"period must be positive, got {period}")
+    if not np.isfinite(time_frame) or time_frame <= 0:
+        raise ApplicationSpecError(
+            f"time_frame must be positive, got {time_frame}"
+        )
+    if not np.isfinite(phase) or phase < 0:
+        raise ApplicationSpecError(f"phase must be >= 0, got {phase}")
     if not 0.0 <= probability <= 1.0:
         raise ApplicationSpecError(f"probability out of range: {probability}")
     arrivals: list[float] = []
@@ -117,8 +125,10 @@ def performance_workload(
     ``app_periods`` maps app name → injection period in µs; the optional
     ``probabilities`` map defaults each app to 1.0 (the paper's setting).
     """
-    if time_frame <= 0:
-        raise ApplicationSpecError("time_frame must be positive")
+    if not np.isfinite(time_frame) or time_frame <= 0:
+        raise ApplicationSpecError(
+            f"time_frame must be positive, got {time_frame}"
+        )
     probabilities = probabilities or {}
     factory = SeedSequenceFactory(seed)
     items: list[WorkloadItem] = []
@@ -151,7 +161,11 @@ def workload_for_counts(
     """
     periods = {}
     for app_name, count in app_counts.items():
-        if count <= 0:
+        if count < 0:
+            raise ApplicationSpecError(
+                f"negative instance count for {app_name!r}: {count}"
+            )
+        if count == 0:
             continue
         periods[app_name] = time_frame / count
     if not periods:

@@ -10,12 +10,14 @@ workload-manager pass.
 
 from __future__ import annotations
 
+from collections import deque
 from itertools import islice
 
 from repro.appmodel.instance import ApplicationInstance, TaskInstance, TaskState
 from repro.common.errors import EmulationError
 from repro.runtime.faults import FaultInjector
 from repro.runtime.handler import PEStatus, ResourceHandler
+from repro.runtime.qos import QoSController
 from repro.runtime.schedulers.base import Assignment, Scheduler, validate_assignments
 from repro.runtime.stats import EmulationStats
 
@@ -107,6 +109,7 @@ class WorkloadManagerCore:
         *,
         validate: bool = True,
         faults: FaultInjector | None = None,
+        qos: QoSController | None = None,
     ) -> None:
         # Workload queue, ordered by arrival (the application handler built it so).
         self.instances = instances
@@ -115,6 +118,7 @@ class WorkloadManagerCore:
         self.stats = stats
         self.validate = validate
         self.faults = faults
+        self.qos = qos
         self.ready = ReadyList()
         self.arrival_idx = 0
         self.apps_completed = 0
@@ -122,6 +126,17 @@ class WorkloadManagerCore:
         #: set once any PE has permanently failed (enables recheck paths)
         self.any_failed = False
         self.tasks_outstanding = sum(i.task_count for i in instances)
+        # -- admission control (see runtime.qos) ----------------------------
+        self.apps_dropped = 0
+        #: admitted but not yet completed/degraded/dropped
+        self.apps_in_flight = 0
+        admission = qos.admission if qos is not None else None
+        #: admission order, for the drop-oldest victim scan (lazy-pruned)
+        self._admitted: deque[ApplicationInstance] | None = (
+            deque()
+            if admission is not None and admission.policy == "drop-oldest"
+            else None
+        )
 
     # -- queries ---------------------------------------------------------------
 
@@ -130,8 +145,25 @@ class WorkloadManagerCore:
         return len(self.instances)
 
     def all_complete(self) -> bool:
-        """Every app is accounted for: completed normally or degraded."""
-        return self.apps_completed + self.apps_degraded == self.n_apps
+        """Every app is accounted for: completed, degraded, or dropped."""
+        return (
+            self.apps_completed + self.apps_degraded + self.apps_dropped
+            == self.n_apps
+        )
+
+    def admission_open(self) -> bool:
+        """False only while a ``defer``-policy arrival must wait for capacity.
+
+        Backends gate their "a due arrival needs a WM pass" wake-up on
+        this, so a deferred arrival does not spin the WM; the completion
+        that frees capacity triggers the pass that admits it.  The drop
+        policies always resolve an arrival immediately, so admission is
+        always "open" for them.
+        """
+        admission = self.qos.admission if self.qos is not None else None
+        if admission is None or admission.policy != "defer":
+            return True
+        return self.apps_in_flight < admission.max_pending
 
     def next_arrival(self) -> float | None:
         """Arrival time of the workload queue's head, or None when drained."""
@@ -174,15 +206,46 @@ class WorkloadManagerCore:
             if task.app.is_complete:
                 self.apps_completed += 1
                 self.stats.record_app_completion(task.app)
+                if self.qos is not None:
+                    self.apps_in_flight -= 1
         return n
 
     def inject_due(self, now: float) -> int:
-        """Injection step: move arrived applications into the emulation."""
+        """Injection step: move arrived applications into the emulation.
+
+        With bounded admission (see :class:`~repro.runtime.qos.AdmissionConfig`)
+        an arrival that comes due at the in-flight bound is deferred (left at
+        the queue head for a later pass) or shed — either the arrival itself
+        (``drop-newest``) or the oldest admitted app that has made no progress
+        yet (``drop-oldest``).  Shed arrivals still count as injected, which
+        is what keeps ``completed + degraded + dropped == injected``.
+        """
+        admission = self.qos.admission if self.qos is not None else None
         injected = 0
         while self.arrival_idx < len(self.instances):
             instance = self.instances[self.arrival_idx]
             if instance.arrival_time > now:
                 break
+            if (
+                admission is not None
+                and self.apps_in_flight >= admission.max_pending
+            ):
+                if admission.policy == "defer":
+                    break
+                if admission.policy == "drop-newest":
+                    self.arrival_idx += 1
+                    injected += 1
+                    self._drop_app(instance, now, "drop-newest", admitted=False)
+                    continue
+                victim = self._oldest_unstarted()
+                if victim is None:
+                    # every admitted app has made progress: shed the
+                    # arrival instead of wasting work already done
+                    self.arrival_idx += 1
+                    injected += 1
+                    self._drop_app(instance, now, "drop-oldest", admitted=False)
+                    continue
+                self._drop_app(victim, now, "drop-oldest", admitted=True)
             instance.inject_time = now
             heads = instance.head_tasks()
             for task in heads:
@@ -190,9 +253,49 @@ class WorkloadManagerCore:
             self.ready.extend(heads)
             self.arrival_idx += 1
             injected += 1
+            if self.qos is not None:
+                self.apps_in_flight += 1
+                if self._admitted is not None:
+                    self._admitted.append(instance)
         if injected:
             self.stats.record_injection(injected)
         return injected
+
+    def _oldest_unstarted(self) -> ApplicationInstance | None:
+        """Oldest admitted app with no progress, pruning settled entries."""
+        queue = self._admitted
+        while queue:
+            app = queue[0]
+            if app.started or app.is_complete or app.degraded or app.dropped:
+                queue.popleft()
+                continue
+            return app
+        return None
+
+    def _drop_app(
+        self,
+        app: ApplicationInstance,
+        now: float,
+        reason: str,
+        *,
+        admitted: bool,
+    ) -> None:
+        """Shed one application under overload (terminal, like degradation).
+
+        ``admitted=False`` sheds an arrival that never entered the
+        emulation; ``admitted=True`` sheds an in-flight app, which by the
+        drop-oldest victim rule has dispatched nothing — only its head
+        tasks can be in the ready list.
+        """
+        app.dropped = True
+        self.apps_dropped += 1
+        if admitted:
+            self.apps_in_flight -= 1
+            in_ready = {id(t) for t in self.ready if t.app is app}
+            if in_ready:
+                self.ready.remove_ids(in_ready)
+        self.tasks_outstanding -= app.task_count
+        self.stats.record_app_drop(app, now, reason)
 
     def run_policy(self, now: float) -> list[Assignment]:
         """Apply the user-selected policy to the ready list (no side effects)."""
@@ -218,6 +321,9 @@ class WorkloadManagerCore:
             return
         chosen = {id(a.task) for a in assignments}
         self.ready.remove_ids(chosen)
+        if self._admitted is not None:
+            for a in assignments:
+                a.task.app.started = True
         for a in assignments:
             binding = a.task.node.binding_for_any(a.handler.accepted_platforms)
             if binding is None:
@@ -241,7 +347,12 @@ class WorkloadManagerCore:
     # -- fault handling ---------------------------------------------------------
 
     def absorb_pe_failure(
-        self, handler: ResourceHandler, orphans: list[TaskInstance], now: float
+        self,
+        handler: ResourceHandler,
+        orphans: list[TaskInstance],
+        now: float,
+        *,
+        kind: str = "pe_failure",
     ) -> None:
         """A PE permanently failed: requeue its surrendered work.
 
@@ -249,10 +360,11 @@ class WorkloadManagerCore:
         the in-flight task plus any reservation-queue bookings.  Orphaning
         does not count against a task's requeue budget (``charge=False``).
         Afterwards any application left without a live capable PE is
-        terminally degraded.
+        terminally degraded.  ``kind`` distinguishes injected failures from
+        watchdog fail-stops in the timeline.
         """
         self.any_failed = True
-        self.stats.record_pe_failure(handler.name, handler.failed_at)
+        self.stats.record_pe_failure(handler.name, handler.failed_at, kind=kind)
         requeued: list[TaskInstance] = []
         for task in orphans:
             if task.state in (TaskState.DISPATCHED, TaskState.RUNNING):
@@ -317,10 +429,12 @@ class WorkloadManagerCore:
         Its queued work is discarded; tasks still in flight on live PEs run
         to completion (their stats remain valid) but unlock nothing.
         """
-        if app.degraded or app.is_complete:
+        if app.degraded or app.is_complete or app.dropped:
             return
         app.degraded = True
         self.apps_degraded += 1
+        if self.qos is not None:
+            self.apps_in_flight -= 1
         in_ready = {id(t) for t in self.ready if t.app is app}
         if in_ready:
             self.ready.remove_ids(in_ready)
@@ -366,13 +480,24 @@ class WorkloadManagerCore:
                     return  # runnable work remains for the next pass
                 return
             if stuck:
-                names = [t.qualified_name() for t in stuck]
+                details = [
+                    f"{t.qualified_name()} needs "
+                    f"{sorted(t.node.platform_names())}"
+                    for t in stuck[:5]
+                ]
+                more = f" (+{len(stuck) - 5} more)" if len(stuck) > 5 else ""
                 raise EmulationError(
-                    f"deadlock at t={now:.1f}us: tasks with no supporting PE "
-                    f"in this configuration: {names[:5]}"
+                    f"deadlock at t={now:.1f}us: {len(stuck)} ready task(s) "
+                    f"have no supporting PE in this configuration: "
+                    f"{'; '.join(details)}{more}; live PE platforms: "
+                    f"{sorted(supported)}"
                 )
         else:
+            live = sorted(
+                {h.type_name for h in self.handlers if not h.failed}
+            )
             raise EmulationError(
                 f"deadlock at t={now:.1f}us: {self.tasks_outstanding} tasks "
-                "outstanding but none ready, none running, none arriving"
+                f"outstanding but none ready, none running, none arriving "
+                f"(live PE types: {live})"
             )

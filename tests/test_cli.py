@@ -196,3 +196,83 @@ class TestSweep:
         doc = json.loads((out / "results.json").read_text())
         statuses = {c["policy"]: c["status"] for c in doc["cells"]}
         assert statuses == {"frfs": "ok", "no_such_policy": "error"}
+
+
+class TestExitCodesAndQoS:
+    """Exit-code contract (docs/qos.md) and the QoS CLI surface."""
+
+    def test_exit_code_constants(self):
+        from repro import cli
+
+        assert cli.EXIT_OK == 0
+        assert cli.EXIT_ERROR == 1
+        assert cli.EXIT_USAGE == 2
+        assert cli.EXIT_INTERRUPTED == 130
+
+    def test_run_with_qos_spec_reports_qos_summary(self, capsys, tmp_path):
+        spec = tmp_path / "qos.json"
+        spec.write_text(json.dumps({"deadlines": {"*": 1e9}}))
+        rc = main(["run", "--apps", "wifi_tx=2", "--no-jitter",
+                   "--qos", str(spec), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["qos"]["apps_on_time"] == 2
+        assert doc["summary"]["qos"]["apps_dropped"] == 0
+
+    def test_run_without_qos_has_no_qos_section(self, capsys):
+        rc = main(["run", "--apps", "wifi_tx=1", "--no-jitter", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "qos" not in doc["summary"]
+        assert "interrupted" not in doc["summary"]
+
+    def test_malformed_qos_spec_is_framework_error(self, capsys, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"admission": {"max_pending": 0}}))
+        rc = main(["run", "--apps", "wifi_tx=1", "--qos", str(spec)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_qos_file_is_framework_error(self, capsys, tmp_path):
+        rc = main(["run", "--qos", str(tmp_path / "absent.json")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_wall_budget_flag_untripped(self, capsys):
+        rc = main(["run", "--apps", "wifi_tx=1", "--no-jitter",
+                   "--wall-budget", "3600", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "interrupted" not in doc["summary"]
+        assert doc["summary"]["apps_completed"] == 1
+
+    def test_sweep_interrupt_maps_to_130(self, capsys, tmp_path, monkeypatch):
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        # cmd_sweep does `from repro.dse import run_campaign` at call time
+        monkeypatch.setattr("repro.dse.run_campaign", boom)
+        rc = main(["sweep", "--configs", "2C+1F", "--policies", "frfs",
+                   "--apps", "wifi_tx=1", "--out", str(tmp_path / "c")])
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_sweep_qos_axis(self, capsys, tmp_path):
+        plans = tmp_path / "plans.json"
+        plans.write_text(json.dumps(
+            [None, {"label": "dl", "deadlines": {"*": 1e9}}]
+        ))
+        out = tmp_path / "campaign"
+        rc = main(["sweep", "--configs", "2C+1F", "--policies", "frfs",
+                   "--apps", "wifi_tx=1", "--qos", str(plans),
+                   "--out", str(out)])
+        assert rc == 0
+        doc = json.loads((out / "results.json").read_text())
+        assert doc["summary"]["cells"] == 2
+        labels = {c["label"] for c in doc["cells"]}
+        assert any(label.endswith("/dl") for label in labels)
+
+    def test_edf_policy_through_cli(self, capsys):
+        rc = main(["run", "--apps", "wifi_tx=1", "--no-jitter",
+                   "--policy", "frfs+edf"])
+        assert rc == 0

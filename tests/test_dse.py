@@ -338,3 +338,95 @@ class TestPareto:
                     )
                 )
                 assert not dominates
+
+
+class TestQoSAxis:
+    QSPEC = {"label": "dl", "deadlines": {"*": 1e9}}
+
+    def test_expansion_and_cell_identity(self):
+        base = tiny_grid(policies=("frfs",))
+        grid = base.with_overrides(qos=(None, self.QSPEC))
+        assert grid.size == base.size * 2
+        cells = grid.expand()
+        qos_free = [c for c in cells if c.qos is None]
+        qos_cells = [c for c in cells if c.qos is not None]
+        # QoS-free cells keep their pre-QoS IDs (cache stays valid) ...
+        assert {c.cell_id for c in qos_free} == {
+            c.cell_id for c in base.expand()
+        }
+        # ... while QoS cells are distinct and labeled
+        assert not ({c.cell_id for c in qos_cells}
+                    & {c.cell_id for c in qos_free})
+        assert all(c.label.endswith("/dl") for c in qos_cells)
+
+    def test_grid_roundtrip_with_qos(self):
+        grid = tiny_grid().with_overrides(qos=(None, self.QSPEC))
+        assert SweepGrid.from_dict(grid.to_dict()) == grid
+        assert "qos" not in tiny_grid().to_dict()
+
+    def test_empty_qos_axis_rejected(self):
+        with pytest.raises(ReproError, match="qos axis"):
+            tiny_grid().with_overrides(qos=())
+
+    def test_campaign_reports_qos_metrics(self, tmp_path):
+        grid = tiny_grid(
+            configs=("2C+1F",), policies=("frfs",)
+        ).with_overrides(qos=(None, self.QSPEC))
+        campaign = run_campaign(grid, out_dir=tmp_path)
+        assert campaign.ok
+        by_qos = {r.cell.qos is not None: r for r in campaign}
+        assert "qos" not in by_qos[False].metrics
+        qos = by_qos[True].metrics["qos"]
+        assert qos["apps_on_time"] == 1 and qos["apps_dropped"] == 0
+        assert "interrupted" not in by_qos[True].metrics
+
+
+class TestInterruptedSweep:
+    def test_interrupted_cell_journaled_then_resumed(
+        self, tmp_path, monkeypatch
+    ):
+        """SIGINT mid-cell: the journal names the interrupted cell and
+        --resume re-runs exactly that cell (completed ones stay cached)."""
+        grid = tiny_grid(policies=("frfs",))  # 2 cells
+        cells = grid.expand()
+        victim = cells[1].cell_id
+        real = runner_mod.execute_cell
+
+        def interrupted_on_victim(cell_data):
+            if SweepCell.from_dict(cell_data).cell_id == victim:
+                raise KeyboardInterrupt
+            return real(cell_data)
+
+        monkeypatch.setattr(
+            runner_mod, "execute_cell", interrupted_on_victim
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(grid, out_dir=tmp_path)
+
+        events = journal_mod.read_events(tmp_path / "journal.jsonl")
+        interrupted = [
+            e for e in events
+            if e["event"] == journal_mod.EVENT_CELL_INTERRUPTED
+        ]
+        assert [e["cell_id"] for e in interrupted] == [victim]
+        end = [e for e in events if e["event"] == "campaign_end"]
+        assert end and end[-1]["interrupted"] is True
+
+        state = journal_mod.replay(tmp_path / "journal.jsonl")
+        assert state.interrupted == {victim}
+        assert victim in state.incomplete
+        assert len(state.completed) == 1
+
+        executed = []
+
+        def spy(cell_data):
+            executed.append(SweepCell.from_dict(cell_data).cell_id)
+            return real(cell_data)
+
+        monkeypatch.setattr(runner_mod, "execute_cell", spy)
+        campaign = run_campaign(grid, out_dir=tmp_path, resume=True)
+        assert campaign.ok
+        assert executed == [victim]
+        assert campaign.cached_hits == 1
+        state = journal_mod.replay(tmp_path / "journal.jsonl")
+        assert state.incomplete == set()

@@ -198,3 +198,53 @@ class TestWorkloadSpecs:
     def test_workload_for_counts_rejects_all_zero(self):
         with pytest.raises(ApplicationSpecError):
             workload_for_counts({"a": 0})
+
+
+class TestWorkloadParamValidation:
+    """Performance-mode parameters are rejected up front, not mid-loop.
+
+    A NaN period/time-frame would make every loop comparison False and
+    spin the arrival generator forever; zero/negative values would
+    silently produce empty or absurd traces.
+    """
+
+    @pytest.mark.parametrize(
+        "period", [0.0, -1.0, float("nan"), float("inf")]
+    )
+    def test_periodic_arrivals_rejects_bad_period(self, period):
+        with pytest.raises(ApplicationSpecError, match="period"):
+            periodic_arrivals(period, 100.0)
+
+    @pytest.mark.parametrize(
+        "time_frame", [0.0, -5.0, float("nan"), float("inf")]
+    )
+    def test_periodic_arrivals_rejects_bad_time_frame(self, time_frame):
+        with pytest.raises(ApplicationSpecError, match="time_frame"):
+            periodic_arrivals(10.0, time_frame)
+
+    @pytest.mark.parametrize("phase", [-1.0, float("nan"), float("inf")])
+    def test_periodic_arrivals_rejects_bad_phase(self, phase):
+        with pytest.raises(ApplicationSpecError, match="phase"):
+            periodic_arrivals(10.0, 100.0, phase=phase)
+
+    @pytest.mark.parametrize("time_frame", [0.0, float("nan")])
+    def test_performance_workload_rejects_bad_time_frame(self, time_frame):
+        with pytest.raises(ApplicationSpecError, match="time_frame"):
+            performance_workload({"a": 10.0}, time_frame=time_frame)
+
+    def test_workload_for_counts_rejects_negative_count(self):
+        with pytest.raises(ApplicationSpecError, match="negative instance count"):
+            workload_for_counts({"a": -1}, 100.0)
+
+    @pytest.mark.parametrize("rate", [0.0, -2.0, float("nan"), float("inf")])
+    def test_counts_at_rate_rejects_bad_rate(self, rate):
+        from repro.experiments.workloads import counts_at_rate
+
+        with pytest.raises(ApplicationSpecError, match="rate"):
+            counts_at_rate(rate)
+
+    def test_counts_at_rate_rejects_bad_time_frame(self):
+        from repro.experiments.workloads import counts_at_rate
+
+        with pytest.raises(ApplicationSpecError, match="time_frame"):
+            counts_at_rate(4.0, time_frame=float("nan"))

@@ -203,3 +203,30 @@ class TestWorkloadManagerCore:
     def test_tasks_outstanding_accounting(self, zcu):
         core, _h, _s = make_core(zcu, arrivals=(0.0, 0.0))
         assert core.tasks_outstanding == 8
+
+
+class TestDeadlockDiagnostics:
+    """The liveness error must name the stuck work and the live PEs."""
+
+    def test_unsupported_tasks_named_in_error(self, zcu):
+        # config with only FFT PEs cannot run the CPU-only A task
+        core, _h, _s = make_core(zcu, config="0C+1F")
+        core.inject_due(0.0)
+        with pytest.raises(EmulationError) as exc_info:
+            core.check_liveness(0.0)
+        msg = str(exc_info.value)
+        assert "no supporting PE in this configuration" in msg
+        assert "diamond" in msg          # the stuck task, by qualified name
+        assert "'cpu'" in msg            # ... and what it needs
+        assert "live PE platforms" in msg and "'fft'" in msg
+
+    def test_stall_with_nothing_ready_reports_live_pe_types(self, zcu):
+        core, _h, _s = make_core(zcu)
+        core.inject_due(0.0)
+        # Simulate lost work: outstanding tasks but an empty ready list.
+        core.ready.remove_ids({id(t) for t in core.ready})
+        with pytest.raises(EmulationError) as exc_info:
+            core.check_liveness(0.0)
+        msg = str(exc_info.value)
+        assert "none ready, none running, none arriving" in msg
+        assert "live PE types" in msg and "'cpu'" in msg
