@@ -282,6 +282,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.dse import run_campaign
     from repro.dse.frontier import render_frontier
 
+    # --status / --gc operate on an existing campaign directory and run
+    # no cells; the grid flags only serve to derive the default --out.
+    if args.gc:
+        from repro.dse.maintenance import gc_campaign
+
+        out_dir = args.out or f".dssoc_campaigns/{_sweep_grid(args).grid_id}"
+        print(json.dumps(gc_campaign(out_dir), indent=2))
+        return EXIT_OK
+    if args.status:
+        from repro.dse.distrib import campaign_snapshot, render_status
+
+        out_dir = args.out or f".dssoc_campaigns/{_sweep_grid(args).grid_id}"
+        snap = campaign_snapshot(out_dir)
+        print(json.dumps(snap, indent=2) if args.json else render_status(snap))
+        return EXIT_OK
+
     grid = _sweep_grid(args)
     out_dir = args.out or f".dssoc_campaigns/{grid.grid_id}"
     quiet = args.json
@@ -299,17 +315,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # SIGTERM behaves like Ctrl-C: the campaign journals in-flight cells as
     # interrupted (so --resume re-runs only those) before the interrupt
     # propagates to main(), which exits 130.
-    with _sigterm_as_interrupt():
-        campaign = run_campaign(
-            grid,
-            out_dir=out_dir,
-            jobs=args.jobs,
-            timeout_s=args.timeout,
-            retries=args.retries,
-            resume=args.resume,
-            force=args.force,
-            progress=progress,
+    if args.workers is not None:
+        from repro.dse.distrib import (
+            DEFAULT_LEASE_TTL_S,
+            run_distributed_campaign,
+            status_line,
         )
+
+        def status_fn(snap) -> None:
+            print(status_line(snap), file=sys.stderr)
+
+        with _sigterm_as_interrupt():
+            campaign = run_distributed_campaign(
+                grid,
+                out_dir=out_dir,
+                workers=args.workers,
+                resume=args.resume,
+                force=args.force,
+                retries=args.retries,
+                timeout_s=args.timeout,
+                lease_ttl_s=(args.lease_ttl if args.lease_ttl is not None
+                             else DEFAULT_LEASE_TTL_S),
+                poll_s=args.poll,
+                progress=progress,
+                status_fn=None if quiet else status_fn,
+            )
+    else:
+        with _sigterm_as_interrupt():
+            campaign = run_campaign(
+                grid,
+                out_dir=out_dir,
+                jobs=args.jobs,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                resume=args.resume,
+                force=args.force,
+                progress=progress,
+            )
 
     if args.json:
         print(json.dumps(
@@ -334,6 +376,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"failed in {summary['elapsed_s']}s -> {out_dir}"
         )
     return 0 if campaign.ok else 1
+
+
+def cmd_sweep_worker(args: argparse.Namespace) -> int:
+    """Attach one worker process to a distributed campaign directory.
+
+    Spawned by ``sweep --workers N`` on the campaign host, or started by
+    hand on any machine mounting the campaign directory.  SIGINT/SIGTERM
+    drain gracefully: the in-flight cell completes (and is journaled)
+    before the worker exits 130.
+    """
+    from repro.dse.distrib import run_worker
+
+    controller = QoSController(None, wall_budget_s=args.wall_budget)
+
+    def log(msg: str) -> None:
+        print(msg, file=sys.stderr)
+
+    with _graceful_signals(controller):
+        summary = run_worker(
+            args.out,
+            worker_id=args.worker_id or None,
+            lease_ttl_s=args.lease_ttl,
+            poll_s=args.poll,
+            oneshot=args.oneshot,
+            max_cells=args.max_cells,
+            controller=controller,
+            log=log,
+        )
+    print(json.dumps(summary.to_dict(), indent=2))
+    if summary.stop_reason in ("SIGINT", "SIGTERM"):
+        return EXIT_INTERRUPTED
+    return EXIT_OK
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -558,7 +632,49 @@ def build_parser() -> argparse.ArgumentParser:
                               "(e.g. makespan_ms, total_energy_j)")
     sweep_p.add_argument("--json", action="store_true",
                          help="print the campaign result set as JSON")
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help="distributed mode: spawn N local worker "
+                              "processes coordinated through the campaign "
+                              "directory (0 = coordinate only; more workers "
+                              "may attach with 'sweep-worker --out DIR')")
+    sweep_p.add_argument("--lease-ttl", type=float, default=None,
+                         help="distributed cell-lease TTL in seconds; a "
+                              "worker that stops heartbeating for this long "
+                              "forfeits its cell (default 30)")
+    sweep_p.add_argument("--poll", type=float, default=0.5,
+                         help="distributed coordinator/worker poll interval "
+                              "in seconds")
+    sweep_p.add_argument("--status", action="store_true",
+                         help="print live status of the campaign in --out "
+                              "(cells/sec, ETA, worker health, cache hits) "
+                              "and exit without running anything")
+    sweep_p.add_argument("--gc", action="store_true",
+                         help="garbage-collect the campaign in --out (prune "
+                              "orphaned/corrupt cache entries, compact the "
+                              "journal) and exit without running anything")
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    worker_p = sub.add_parser(
+        "sweep-worker",
+        help="attach one worker to a distributed sweep campaign directory",
+    )
+    worker_p.add_argument("--out", required=True,
+                          help="campaign directory (as passed to sweep --out)")
+    worker_p.add_argument("--worker-id", default="",
+                          help="stable worker name (default: <host>-<pid>)")
+    worker_p.add_argument("--lease-ttl", type=float, default=None,
+                          help="override the campaign manifest's lease TTL")
+    worker_p.add_argument("--poll", type=float, default=0.5,
+                          help="idle poll interval in seconds")
+    worker_p.add_argument("--oneshot", action="store_true",
+                          help="exit after the first pass that finds no "
+                               "claimable work instead of waiting on peers")
+    worker_p.add_argument("--max-cells", type=int, default=None,
+                          help="stop after resolving this many cells")
+    worker_p.add_argument("--wall-budget", type=float, default=None,
+                          help="wall-clock budget in seconds; on expiry the "
+                               "worker finishes its in-flight cell and exits")
+    worker_p.set_defaults(fn=cmd_sweep_worker)
 
     bench_p = sub.add_parser(
         "bench", help="measure emulator throughput on canonical scenarios"

@@ -47,9 +47,15 @@ class ResultCache:
         return payload if isinstance(payload, dict) else None
 
     def put(self, cell_id: str, metrics: dict[str, Any]) -> Path:
-        """Atomically persist a cell's metrics; returns the entry path."""
+        """Atomically persist a cell's metrics; returns the entry path.
+
+        The temp name embeds the writer's pid so concurrent writers on a
+        shared cache directory (multiple sweep workers, or two campaigns
+        sharing cells) never collide mid-write; last rename wins, and
+        both writers wrote the same deterministic payload anyway.
+        """
         path = self.path_for(cell_id)
-        tmp = path.with_suffix(".json.tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         entry = {"version": CACHE_VERSION, "cell_id": cell_id, "metrics": metrics}
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(entry, fh, indent=1, sort_keys=True)
@@ -71,6 +77,14 @@ class ResultCache:
             path.unlink()
             removed += 1
         return removed
+
+    def cell_ids(self) -> list[str]:
+        """Cell IDs of every entry on disk (valid or not)."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def tmp_files(self) -> list[Path]:
+        """Leftover temp files (abandoned by crashed/killed writers)."""
+        return sorted(self.root.glob("*.tmp"))
 
     def __contains__(self, cell_id: str) -> bool:
         return self.get(cell_id) is not None

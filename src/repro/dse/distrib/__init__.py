@@ -1,0 +1,67 @@
+"""Distributed sweep service: sharded multi-worker DSE campaigns.
+
+The PR 1 campaign engine runs every campaign on one host's process
+pool; this package turns it into a coordination/transport layer that
+shards cells across any number of independent worker processes — same
+host, or many hosts over a shared filesystem — with nothing but files
+as the protocol:
+
+* :mod:`repro.dse.distrib.leases` — NFS-safe lease primitives
+  (hardlink acquire, mtime heartbeat, owner-checked release,
+  rename-arbitrated stale break);
+* :mod:`repro.dse.distrib.queue` — the durable work queue: manifest,
+  per-cell leases, per-worker journal shards, heartbeats, failure
+  records, stop flag;
+* :mod:`repro.dse.distrib.shared_cache` — the shared-filesystem variant
+  of the content-hash result cache (execution locks dedupe concurrent
+  campaigns);
+* :mod:`repro.dse.distrib.worker` — the worker loop
+  (``dssoc-emulate sweep-worker``);
+* :mod:`repro.dse.distrib.coordinator` — campaign orchestration, shard
+  merge, liveness (``dssoc-emulate sweep --workers N``);
+* :mod:`repro.dse.distrib.status` — live campaign status
+  (``dssoc-emulate sweep --status``).
+
+See ``docs/distributed.md`` for the architecture, the lease protocol,
+and the failure matrix.
+"""
+
+from repro.dse.distrib.coordinator import (
+    ShardMerger,
+    merge_once,
+    run_distributed_campaign,
+)
+from repro.dse.distrib.leases import LeaseDir, LeaseInfo
+from repro.dse.distrib.queue import (
+    DEFAULT_LEASE_TTL_S,
+    DistribError,
+    WorkQueue,
+    default_worker_id,
+    load_manifest,
+    manifest_cells,
+    write_manifest,
+)
+from repro.dse.distrib.shared_cache import SharedResultCache
+from repro.dse.distrib.status import campaign_snapshot, render_status, status_line
+from repro.dse.distrib.worker import WorkerSummary, run_worker
+
+__all__ = [
+    "DEFAULT_LEASE_TTL_S",
+    "DistribError",
+    "LeaseDir",
+    "LeaseInfo",
+    "ShardMerger",
+    "SharedResultCache",
+    "WorkQueue",
+    "WorkerSummary",
+    "campaign_snapshot",
+    "default_worker_id",
+    "load_manifest",
+    "manifest_cells",
+    "merge_once",
+    "render_status",
+    "run_distributed_campaign",
+    "run_worker",
+    "status_line",
+    "write_manifest",
+]

@@ -1,0 +1,427 @@
+"""Distributed sweep coordinator: partition, monitor, merge, conclude.
+
+The coordinator owns the *campaign* while workers own *cells*:
+
+1. expands the grid and publishes the durable manifest (the work queue);
+2. runs the same cache pass a single-process campaign runs, journaling
+   ``cell_cached`` for every cell already resolved on disk;
+3. optionally spawns N local worker processes (any number of additional
+   workers may attach from other hosts via ``sweep-worker --out DIR``);
+4. periodically merges per-worker journal shards into the canonical
+   ``journal.jsonl`` — exactly-once per resolution, with byte offsets of
+   the merged prefix persisted so a killed coordinator never re-merges
+   or loses events on ``--resume``;
+5. watches worker heartbeats and processes, streaming a live status
+   line (cells/sec, ETA, worker health, cache hit rate);
+6. on completion writes ``results.json``/frontier inputs identical in
+   shape to a single-process campaign (modulo worker attribution).
+
+Killing the coordinator mid-flight loses nothing: workers keep draining
+the queue (results land in shards + shared cache), and a resumed
+coordinator folds it all back together.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.dse import journal as journal_mod
+from repro.dse.cache import ResultCache
+from repro.dse.distrib.queue import (
+    DEFAULT_LEASE_TTL_S,
+    DistribError,
+    WorkQueue,
+    _atomic_write_json,
+    _read_json,
+    write_manifest,
+)
+from repro.dse.grid import SweepCell, SweepGrid
+from repro.dse.journal import Journal, JournalState
+from repro.dse.runner import CampaignResult, CellResult, ProgressFn
+
+#: Shard fields copied verbatim into the canonical journal on merge.
+_MERGE_DROP = ("event", "seq", "ts")
+
+
+class ShardMerger:
+    """Exactly-once folding of worker journal shards into the canonical log.
+
+    Byte offsets of each shard's merged prefix live in
+    ``distrib/merge_state.json`` (written atomically after every merge),
+    so a coordinator killed between merges re-reads only unmerged
+    suffixes.  Events that would double-resolve a cell — two finishes
+    after a lease was re-issued to a second worker just as the first
+    woke back up — are dropped here, which is what makes "no
+    double-counted results" hold end to end.
+    """
+
+    def __init__(
+        self, queue: WorkQueue, journal: Journal, state: JournalState
+    ) -> None:
+        self.queue = queue
+        self.journal = journal
+        self.state = state
+        self.path = queue.root / "merge_state.json"
+        doc = _read_json(self.path)
+        self.offsets: dict[str, int] = (
+            {str(k): int(v) for k, v in doc.items()}
+            if isinstance(doc, dict)
+            else {}
+        )
+
+    def merge(self) -> int:
+        """Fold all new shard events into the canonical journal."""
+        fresh: list[tuple[float, int, str, dict[str, Any]]] = []
+        advanced = False
+        for shard in self.queue.shard_paths():
+            name = shard.stem
+            offset = self.offsets.get(name, 0)
+            events, consumed = journal_mod.read_events_from(shard, offset)
+            if consumed != offset:
+                self.offsets[name] = consumed
+                advanced = True
+            for event in events:
+                fresh.append(
+                    (float(event.get("ts", 0.0)), int(event.get("seq", 0)),
+                     name, event)
+                )
+        merged = 0
+        for _ts, _seq, name, event in sorted(fresh, key=lambda t: t[:3]):
+            kind = event["event"]
+            cell_id = event.get("cell_id")
+            if cell_id and kind in (
+                journal_mod.EVENT_CELL_FINISH,
+                journal_mod.EVENT_CELL_CACHED,
+            ):
+                if cell_id in self.state.completed:
+                    continue  # duplicate resolution (lease re-issue race)
+            fields = {
+                k: v for k, v in event.items() if k not in _MERGE_DROP
+            }
+            fields.setdefault("worker", name)
+            self.journal.append(kind, **fields)
+            self.state.fold({"event": kind, **fields})
+            merged += 1
+        if advanced:
+            _atomic_write_json(self.path, self.offsets)
+        return merged
+
+
+def _spawn_worker(
+    out_dir: Path,
+    worker_id: str,
+    *,
+    lease_ttl_s: float,
+    poll_s: float,
+) -> subprocess.Popen:
+    """Start one local worker process attached to the campaign dir."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_root
+    )
+    cmd = [
+        sys.executable, "-m", "repro.cli", "sweep-worker",
+        "--out", str(out_dir),
+        "--worker-id", worker_id,
+        "--lease-ttl", str(lease_ttl_s),
+        "--poll", str(poll_s),
+    ]
+    return subprocess.Popen(cmd, env=env)
+
+
+def _clear_distrib_state(queue: WorkQueue) -> None:
+    """Reset queue state for a fresh (non-resume) campaign; keeps the cache."""
+    queue.clear_stop()
+    for directory in (
+        queue.leases.root, queue.journals_dir, queue.workers_dir,
+        queue.failed_dir,
+    ):
+        for path in directory.iterdir():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    try:
+        (queue.root / "merge_state.json").unlink()
+    except OSError:
+        pass
+
+
+def run_distributed_campaign(
+    grid: SweepGrid | Iterable[SweepCell],
+    out_dir: str | Path,
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    force: bool = False,
+    retries: int = 1,
+    timeout_s: float | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    poll_s: float = 0.5,
+    status_interval_s: float = 5.0,
+    progress: ProgressFn | None = None,
+    status_fn=None,
+    worker_grace_s: float = 15.0,
+) -> CampaignResult:
+    """Run a campaign through the distributed service; see module docstring.
+
+    ``workers=0`` coordinates without spawning: external workers attached
+    via ``sweep-worker`` (possibly on other hosts) drain the queue.  The
+    returned :class:`CampaignResult` matches ``run_campaign``'s — same
+    row schema, same frontier inputs — so analysis code cannot tell the
+    difference.
+    """
+    if isinstance(grid, SweepGrid):
+        cells = grid.expand()
+        grid_id = grid.grid_id
+    else:
+        cells = list(grid)
+        grid_id = f"adhoc-{len(cells)}"
+    by_id: dict[str, SweepCell] = {}
+    for cell in cells:
+        by_id.setdefault(cell.cell_id, cell)
+
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    t_start = time.monotonic()
+    max_attempts = 1 + max(0, int(retries))
+
+    queue = WorkQueue(out_path, owner="coordinator", lease_ttl_s=lease_ttl_s)
+    if not resume:
+        _clear_distrib_state(queue)
+    queue.clear_stop()
+    write_manifest(
+        out_path, list(by_id.values()), grid_id=grid_id,
+        max_attempts=max_attempts, timeout_s=timeout_s,
+        lease_ttl_s=lease_ttl_s,
+    )
+
+    cache = ResultCache(out_path / "cache")
+    journal_path = out_path / "journal.jsonl"
+    state = (
+        journal_mod.replay_indexed(journal_path)
+        if resume
+        else JournalState()
+    )
+    journal = Journal(journal_path, resume=resume)
+    journal.append(
+        journal_mod.EVENT_CAMPAIGN_START,
+        cells=len(cells),
+        resume=resume,
+        distributed=True,
+        workers=workers,
+        prior_completed=len(state.completed),
+        prior_incomplete=len(state.incomplete),
+    )
+    merger = ShardMerger(queue, journal, state)
+
+    done_count = 0
+    total = len(by_id)
+
+    def report(result: CellResult) -> None:
+        nonlocal done_count
+        done_count += 1
+        if progress is not None:
+            progress(done_count, total, result)
+
+    # Cache pass — identical semantics to the single-process runner: cells
+    # already on disk (including ones a prior interrupted run completed)
+    # are journaled as cache hits, never queued.
+    resolution: dict[str, str] = {}  # cell_id -> "cached" | "finish" | "error"
+    for cell_id, cell in by_id.items():
+        if cell_id in resolution:
+            continue
+        if force:
+            cache.discard(cell_id)
+            continue
+        hit = cache.get(cell_id)
+        if hit is not None:
+            journal.append(
+                journal_mod.EVENT_CELL_CACHED,
+                cell_id=cell_id,
+                label=cell.label,
+                worker="coordinator",
+                attempts=0,
+            )
+            state.fold({"event": journal_mod.EVENT_CELL_CACHED,
+                        "cell_id": cell_id})
+            resolution[cell_id] = "cached"
+            report(CellResult(cell, "ok", hit, cached=True))
+
+    procs: dict[str, subprocess.Popen] = {}
+    embedded: threading.Thread | None = None
+    embedded_error: list[BaseException] = []
+    interrupted = False
+    try:
+        for i in range(max(0, workers)):
+            worker_id = f"w{i + 1}"
+            procs[worker_id] = _spawn_worker(
+                out_path, worker_id,
+                lease_ttl_s=lease_ttl_s, poll_s=poll_s,
+            )
+        if workers == 0 and len(resolution) < total:
+            # Coordinate-only mode with no one attached yet: work the
+            # queue ourselves so the campaign always makes progress.
+            # External workers can still join and share the load.
+            from repro.dse.distrib.worker import run_worker
+
+            def _embedded_worker() -> None:
+                try:
+                    run_worker(
+                        out_path, worker_id="w0-embedded",
+                        lease_ttl_s=lease_ttl_s, poll_s=poll_s,
+                    )
+                except BaseException as exc:  # noqa: BLE001 — surfaced below
+                    embedded_error.append(exc)
+
+            embedded = threading.Thread(
+                target=_embedded_worker, name="embedded-worker", daemon=True
+            )
+            embedded.start()
+
+        last_status = 0.0
+        while True:
+            merger.merge()
+            # Surface newly-resolved cells to the progress callback.
+            for cell_id in state.completed:
+                if cell_id in by_id and cell_id not in resolution:
+                    resolution[cell_id] = "finish"
+                    metrics = cache.get(cell_id)
+                    report(CellResult(by_id[cell_id], "ok", metrics))
+            failed_final = queue.failed_final()
+            for cell_id in failed_final:
+                if cell_id in by_id and cell_id not in resolution:
+                    resolution[cell_id] = "error"
+                    record = failed_final[cell_id]
+                    report(CellResult(
+                        by_id[cell_id], "error",
+                        error=(record.get("errors") or ["?"])[-1],
+                        attempts=int(record.get("attempts", 1)),
+                    ))
+            if len(resolution) >= total:
+                break
+
+            now = time.monotonic()
+            if status_fn is not None and now - last_status >= status_interval_s:
+                last_status = now
+                from repro.dse.distrib.status import campaign_snapshot
+
+                status_fn(campaign_snapshot(out_path))
+
+            # Liveness: reap exited spawned workers; a fleet that is
+            # entirely dead with work outstanding cannot finish.
+            for worker_id, proc in list(procs.items()):
+                if proc.poll() is not None:
+                    del procs[worker_id]
+            if embedded is not None and not embedded.is_alive():
+                if embedded_error:
+                    raise DistribError(
+                        f"embedded worker died: {embedded_error[0]}"
+                    ) from embedded_error[0]
+                embedded = None
+            fleet_dead = not procs and embedded is None
+            if fleet_dead:
+                statuses = queue.worker_statuses()
+                fresh = [
+                    s for s in statuses.values()
+                    if time.time() - float(s.get("ts", 0)) < 3 * lease_ttl_s
+                    and s.get("state") not in ("done", "stop_requested")
+                ]
+                if workers > 0 and not fresh:
+                    merger.merge()
+                    raise DistribError(
+                        f"all workers exited with "
+                        f"{total - len(resolution)} cells unresolved — "
+                        "check worker logs, then re-run with --resume"
+                    )
+            time.sleep(poll_s)
+    except (KeyboardInterrupt, Exception):
+        interrupted = True
+        raise
+    finally:
+        queue.request_stop()
+        deadline = time.monotonic() + worker_grace_s
+        if embedded is not None:
+            embedded.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in procs.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        try:
+            merger.merge()
+        except OSError:
+            pass
+        end_fields: dict[str, Any] = {
+            "cells": len(cells),
+            "completed": len(state.completed & set(by_id)),
+            "failed": sum(1 for r in resolution.values() if r == "error"),
+        }
+        if interrupted:
+            end_fields["interrupted"] = True
+        journal.append(journal_mod.EVENT_CAMPAIGN_END, **end_fields)
+        journal.close()
+        try:
+            journal_mod.write_index(journal_path, journal_mod.replay(journal_path))
+        except OSError:
+            pass
+
+    # -- conclude: same result shape as the single-process runner ------------------
+    failed_final = queue.failed_final()
+    collected: dict[str, CellResult] = {}
+    for cell_id, cell in by_id.items():
+        kind = resolution.get(cell_id)
+        if kind in ("cached", "finish"):
+            collected[cell_id] = CellResult(
+                cell, "ok", cache.get(cell_id), cached=(kind == "cached")
+            )
+        else:
+            record = failed_final.get(cell_id) or {}
+            collected[cell_id] = CellResult(
+                cell, "error",
+                error=(record.get("errors") or ["unresolved"])[-1],
+                attempts=int(record.get("attempts", 1)),
+            )
+    results = [collected[cell.cell_id] for cell in cells]
+    campaign = CampaignResult(
+        results=results,
+        out_dir=out_path,
+        elapsed_s=time.monotonic() - t_start,
+    )
+    campaign.save(out_path / "results.json")
+    return campaign
+
+
+def merge_once(out_dir: str | Path) -> dict[str, Any]:
+    """One offline merge pass (no campaign run): shards -> canonical journal.
+
+    Lets an operator fold completed workers' shards into the canonical
+    journal without re-running the coordinator loop — ``sweep --status``
+    after this sees the campaign's true state.  Returns a small report.
+    """
+    out_path = Path(out_dir)
+    queue = WorkQueue(out_path, owner="coordinator")
+    journal_path = out_path / "journal.jsonl"
+    state = journal_mod.replay_indexed(journal_path)
+    journal = Journal(journal_path, resume=True)
+    merger = ShardMerger(queue, journal, state)
+    merged = merger.merge()
+    journal.close()
+    journal_mod.write_index(journal_path, journal_mod.replay(journal_path))
+    return {"merged_events": merged, "completed": len(state.completed)}

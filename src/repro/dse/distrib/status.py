@@ -1,0 +1,217 @@
+"""Live campaign status: cells/sec, ETA, worker health, cache hit rate.
+
+Pure read-side: a snapshot is computed only from what is already durable
+in the campaign directory (manifest, canonical journal + index, worker
+shards, heartbeats, leases, failure records), so ``sweep --status`` can
+be pointed at a running campaign from any host sharing the filesystem
+without perturbing it — it takes no leases and writes nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.dse import journal as journal_mod
+from repro.dse.distrib.leases import lease_now
+from repro.dse.distrib.queue import WorkQueue, load_manifest, manifest_cells
+
+#: A worker whose heartbeat is older than this many lease ttls is dead.
+_STALE_FACTOR = 3.0
+
+#: Window for the "recent" throughput estimate feeding the ETA.
+_RECENT_WINDOW_S = 60.0
+
+
+def campaign_snapshot(out_dir: str | Path) -> dict[str, Any]:
+    """One structured snapshot of a (possibly running) distributed campaign."""
+    out_path = Path(out_dir)
+    manifest = load_manifest(out_path)
+    lease_ttl = float(manifest.get("lease_ttl_s", 30.0))
+    ids: list[str] = []
+    seen: set[str] = set()
+    for cell in manifest_cells(manifest):
+        if cell.cell_id not in seen:
+            seen.add(cell.cell_id)
+            ids.append(cell.cell_id)
+
+    queue = WorkQueue(out_path, owner="status", lease_ttl_s=lease_ttl)
+
+    # Canonical view (merged by the coordinator) ...
+    state = journal_mod.replay_indexed(out_path / "journal.jsonl", write=False)
+    completed = set(state.completed)
+    # ... plus shard events the coordinator has not merged yet, which also
+    # carry the timestamps the throughput estimate needs.
+    resolution_ts: list[float] = []
+    per_worker: dict[str, dict[str, Any]] = {}
+    for shard in queue.shard_paths():
+        worker = shard.stem
+        finishes = cached = errors = 0
+        last_ts = 0.0
+        wall = 0.0
+        for event in journal_mod.read_events(shard):
+            kind = event.get("event")
+            ts = float(event.get("ts", 0.0))
+            if kind == journal_mod.EVENT_CELL_FINISH:
+                finishes += 1
+                resolution_ts.append(ts)
+                wall += float(event.get("wall_time_s", 0.0))
+                completed.add(event.get("cell_id"))
+            elif kind == journal_mod.EVENT_CELL_CACHED:
+                cached += 1
+                resolution_ts.append(ts)
+                completed.add(event.get("cell_id"))
+            elif kind == journal_mod.EVENT_CELL_ERROR:
+                errors += 1
+            last_ts = max(last_ts, ts)
+        per_worker[worker] = {
+            "executed": finishes,
+            "cached": cached,
+            "errors": errors,
+            "last_event_ts": last_ts,
+            "wall_time_s": round(wall, 3),
+        }
+    completed.discard(None)
+    completed &= set(seen)
+
+    failed = queue.failed_final()
+    resolved = len(completed) + len(set(failed) & seen)
+    total = len(ids)
+
+    # Worker health from heartbeats.
+    now = time.time()
+    workers: list[dict[str, Any]] = []
+    for worker_id, status in sorted(queue.worker_statuses().items()):
+        age = max(0.0, now - float(status.get("ts", 0.0)))
+        terminal = status.get("state") in (
+            "done", "stop_requested", "interrupted", "oneshot_drained",
+            "max_cells",
+        )
+        if terminal:
+            health = "exited"
+        elif age <= lease_ttl:
+            health = "live"
+        elif age <= _STALE_FACTOR * lease_ttl:
+            health = "stale"
+        else:
+            health = "dead"
+        shard = per_worker.get(worker_id, {})
+        workers.append({
+            "worker": worker_id,
+            "health": health,
+            "state": status.get("state"),
+            "heartbeat_age_s": round(age, 1),
+            "current_cell": status.get("current_cell"),
+            "executed": shard.get("executed", 0),
+            "cached": shard.get("cached", 0),
+            "errors": shard.get("errors", 0),
+        })
+
+    # In-flight leases, judged against the shared filesystem's clock.
+    fs_now = lease_now(queue.leases.root)
+    leases = []
+    for name, info in sorted(queue.leases.held().items()):
+        leases.append({
+            "cell_id": name,
+            "owner": info.owner,
+            "age_s": round(info.age_s(fs_now), 1),
+            "stale": queue.leases.is_stale(info, fs_now),
+        })
+
+    # Throughput + ETA from resolution timestamps.
+    resolution_ts.sort()
+    rate = recent_rate = 0.0
+    if len(resolution_ts) >= 2:
+        span = resolution_ts[-1] - resolution_ts[0]
+        if span > 0:
+            rate = (len(resolution_ts) - 1) / span
+    recent = [ts for ts in resolution_ts if ts >= now - _RECENT_WINDOW_S]
+    if recent:
+        recent_rate = len(recent) / _RECENT_WINDOW_S
+    best_rate = recent_rate or rate
+    remaining = total - resolved
+    eta_s = remaining / best_rate if best_rate > 0 and remaining > 0 else None
+
+    cached_total = sum(w.get("cached", 0) for w in per_worker.values())
+    # cell_cached events the coordinator journaled directly (cache pass)
+    cached_total += sum(
+        1 for e in journal_mod.read_events(out_path / "journal.jsonl")
+        if e.get("event") == journal_mod.EVENT_CELL_CACHED
+        and e.get("worker") == "coordinator"
+    )
+    hit_rate = cached_total / resolved if resolved else 0.0
+
+    return {
+        "out_dir": str(out_path),
+        "grid_id": manifest.get("grid_id"),
+        "created_ts": manifest.get("created_ts"),
+        "lease_ttl_s": lease_ttl,
+        "cells": total,
+        "resolved": resolved,
+        "completed": len(completed),
+        "failed": len(set(failed) & seen),
+        "in_flight": len(leases),
+        "stop_requested": queue.stop_requested(),
+        "cells_per_s": round(rate, 4),
+        "recent_cells_per_s": round(recent_rate, 4),
+        "eta_s": round(eta_s, 1) if eta_s is not None else None,
+        "cache_hit_rate": round(hit_rate, 4),
+        "workers": workers,
+        "leases": leases,
+    }
+
+
+def render_status(snap: dict[str, Any]) -> str:
+    """Human-readable status block for ``sweep --status``."""
+    lines: list[str] = []
+    done = snap["resolved"]
+    total = snap["cells"]
+    pct = 100.0 * done / total if total else 100.0
+    lines.append(
+        f"campaign {snap['grid_id']} — {done}/{total} cells resolved "
+        f"({pct:.1f}%), {snap['completed']} completed, "
+        f"{snap['failed']} failed, {snap['in_flight']} in flight"
+    )
+    eta = f"{snap['eta_s']:.0f}s" if snap["eta_s"] is not None else "—"
+    lines.append(
+        f"throughput {snap['cells_per_s']:.2f} cells/s overall, "
+        f"{snap['recent_cells_per_s']:.2f} recent; ETA {eta}; "
+        f"cache hit rate {100.0 * snap['cache_hit_rate']:.0f}%"
+    )
+    if snap["stop_requested"] and done < total:
+        lines.append("STOP requested — workers are draining")
+    if snap["workers"]:
+        lines.append("")
+        lines.append(
+            f"{'worker':<24} {'health':<7} {'beat':>6} {'run':>5} "
+            f"{'hit':>4} {'err':>4}  current cell"
+        )
+        for w in snap["workers"]:
+            lines.append(
+                f"{w['worker']:<24} {w['health']:<7} "
+                f"{w['heartbeat_age_s']:>5.1f}s {w['executed']:>5} "
+                f"{w['cached']:>4} {w['errors']:>4}  "
+                f"{w['current_cell'] or '-'}"
+            )
+    else:
+        lines.append("no workers have attached yet")
+    stale = [entry for entry in snap["leases"] if entry["stale"]]
+    if stale:
+        lines.append(
+            f"{len(stale)} stale lease(s) pending re-issue: "
+            + ", ".join(entry["cell_id"][:8] for entry in stale[:6])
+        )
+    return "\n".join(lines)
+
+
+def status_line(snap: dict[str, Any]) -> str:
+    """One-line progress summary for the coordinator's live stream."""
+    live = sum(1 for w in snap["workers"] if w["health"] == "live")
+    eta = f"{snap['eta_s']:.0f}s" if snap["eta_s"] is not None else "—"
+    return (
+        f"[distrib] {snap['resolved']}/{snap['cells']} cells, "
+        f"{live} workers live, "
+        f"{snap['recent_cells_per_s'] or snap['cells_per_s']:.2f} cells/s, "
+        f"ETA {eta}, cache {100.0 * snap['cache_hit_rate']:.0f}%"
+    )

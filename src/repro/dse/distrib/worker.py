@@ -1,0 +1,385 @@
+"""Distributed sweep worker: claim leases, run cells, journal a shard.
+
+A worker is one independent process attached to a campaign directory.
+It needs no coordinator to make progress — the manifest is the work
+list, leases arbitrate ownership, the shared cache is the result bus —
+so workers can be spawned by ``sweep --workers N`` on the campaign host
+or started by hand on any machine that mounts the same filesystem
+(``dssoc-emulate sweep-worker --out DIR``).
+
+Health and shutdown reuse the PR 4 QoS watchdog machinery: the worker
+carries a :class:`~repro.runtime.qos.QoSController` whose interrupt flag
+is set by signal handlers or a ``--wall-budget`` expiry, polled between
+cells exactly the way backends poll it between scheduler passes; and the
+lease heartbeat mirrors the QoS heartbeat-timeout protocol — a renewal
+thread touches the held lease, and renewals *stop* once the cell exceeds
+the campaign's per-cell timeout, so a hung cell's lease expires and the
+cell is re-issued to a healthy worker.
+
+Everything a worker learns goes into its private append-only journal
+shard (``distrib/journals/<worker>.jsonl``, same event schema as the
+canonical journal plus ``worker``/``wall_time_s`` attribution); the
+coordinator merges shards into the canonical journal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.dse import journal as journal_mod
+from repro.dse import runner as runner_mod
+from repro.dse.distrib.queue import (
+    DEFAULT_LEASE_TTL_S,
+    DistribError,
+    WorkQueue,
+    default_worker_id,
+    load_manifest,
+    manifest_cells,
+)
+from repro.dse.distrib.shared_cache import SharedResultCache
+from repro.dse.grid import SweepCell
+from repro.dse.journal import Journal
+from repro.runtime.qos import QoSController
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker run accomplished (its exit report)."""
+
+    worker_id: str
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    passes: int = 0
+    stop_reason: str = "done"
+
+    def to_dict(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "passes": self.passes,
+            "stop_reason": self.stop_reason,
+        }
+
+
+@dataclass
+class _HeartbeatState:
+    """Shared between the worker loop and its heartbeat thread."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    current_cell: str | None = None
+    cell_started: float = 0.0
+    timeout_s: float | None = None
+    done: int = 0
+    state: str = "starting"
+
+
+class _Heartbeat(threading.Thread):
+    """Renews the held lease + publishes worker status while cells run.
+
+    Renewal is deliberately bounded: once the running cell has exceeded
+    the campaign's per-cell timeout the lease is allowed to expire, which
+    is how a worker hung inside a cell hands that cell back to the fleet
+    (the QoS heartbeat-watchdog pattern, applied to workers).
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        cache: SharedResultCache,
+        worker_id: str,
+        shared: _HeartbeatState,
+        interval_s: float,
+    ) -> None:
+        super().__init__(name=f"heartbeat-{worker_id}", daemon=True)
+        self.queue = queue
+        self.cache = cache
+        self.worker_id = worker_id
+        self.shared = shared
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.beat()
+
+    def beat(self) -> None:
+        with self.shared.lock:
+            cell = self.shared.current_cell
+            started = self.shared.cell_started
+            timeout = self.shared.timeout_s
+            done = self.shared.done
+            state = self.shared.state
+        if cell is not None:
+            runtime = time.monotonic() - started
+            if timeout is None or runtime <= timeout:
+                self.queue.renew_claim(cell)
+                self.cache.renew_lock(cell)
+        try:
+            self.queue.write_worker_status(
+                self.worker_id,
+                state=state,
+                current_cell=cell,
+                cells_done=done,
+                cache=self.cache.stats(),
+            )
+        except OSError:
+            pass  # a transiently unwritable status file is not fatal
+
+
+def _rotation(n: int, worker_id: str) -> list[int]:
+    """Manifest indices rotated by a stable per-worker offset.
+
+    Workers walk the same cell list starting at different points, so a
+    fleet ramping up does not stampede the same leases in order.
+    """
+    if n == 0:
+        return []
+    digest = hashlib.sha256(worker_id.encode("utf-8")).hexdigest()
+    start = int(digest[:8], 16) % n
+    return list(range(start, n)) + list(range(start))
+
+
+def run_worker(
+    out_dir: str | Path,
+    *,
+    worker_id: str | None = None,
+    lease_ttl_s: float | None = None,
+    poll_s: float = 0.5,
+    oneshot: bool = False,
+    max_cells: int | None = None,
+    controller: QoSController | None = None,
+    manifest_wait_s: float = 30.0,
+    log=None,
+) -> WorkerSummary:
+    """Work a campaign directory until it is fully resolved (or told to stop).
+
+    The loop makes claim-check-execute passes over the manifest.  A cell
+    is skipped when it is already resolved (shared-cache hit or final
+    failure record), or leased to a live peer; otherwise the worker
+    claims it, re-checks under the lease, and runs it through the
+    ordinary :func:`repro.dse.runner.execute_cell`.  With ``oneshot`` the
+    worker exits after the first pass that finds nothing to do (CI
+    helpers); otherwise it waits on peers' leases — surviving workers
+    automatically absorb a crashed peer's re-issued cells.
+    """
+    worker_id = worker_id or default_worker_id()
+    out_dir = Path(out_dir)
+
+    deadline = time.monotonic() + manifest_wait_s
+    while True:
+        try:
+            manifest = load_manifest(out_dir)
+            break
+        except DistribError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(min(poll_s, 0.2))
+
+    ttl = float(lease_ttl_s or manifest.get("lease_ttl_s") or DEFAULT_LEASE_TTL_S)
+    timeout_s = manifest.get("timeout_s")
+    max_attempts = max(1, int(manifest.get("max_attempts", 1)))
+    cells = manifest_cells(manifest)
+    by_id: dict[str, SweepCell] = {}
+    for cell in cells:
+        by_id.setdefault(cell.cell_id, cell)
+    order = list(by_id)
+
+    queue = WorkQueue(out_dir, owner=worker_id, lease_ttl_s=ttl)
+    cache = SharedResultCache(
+        out_dir / "cache",
+        owner=worker_id,
+        lock_ttl_s=max(ttl, float(timeout_s) if timeout_s else ttl),
+    )
+    # Cells the coordinator already resolved (prior runs, cache pass) —
+    # read once at attach; new resolutions arrive via cache/failure files.
+    resolved = set(
+        journal_mod.replay_indexed(out_dir / "journal.jsonl", write=False).completed
+    ) & set(by_id)
+
+    summary = WorkerSummary(worker_id=worker_id)
+    shared = _HeartbeatState()
+    heartbeat = _Heartbeat(
+        queue, cache, worker_id, shared, interval_s=max(0.05, ttl / 3.0)
+    )
+    journal = Journal(queue.shard_path(worker_id), resume=True)
+    if controller is not None:
+        controller.start_run()
+
+    def say(msg: str) -> None:
+        if log is not None:
+            log(f"[{worker_id}] {msg}")
+
+    def begin_cell(cell_id: str) -> None:
+        with shared.lock:
+            shared.current_cell = cell_id
+            shared.cell_started = time.monotonic()
+            shared.timeout_s = float(timeout_s) if timeout_s else None
+            shared.state = "running"
+
+    def end_cell() -> None:
+        with shared.lock:
+            shared.current_cell = None
+            shared.done = summary.executed + summary.cached
+            shared.state = "idle"
+
+    heartbeat.start()
+    heartbeat.beat()
+    try:
+        while True:
+            summary.passes += 1
+            progress_made = False
+            in_flight_seen = False
+            stop_reason: str | None = None
+            for idx in _rotation(len(order), worker_id):
+                if queue.stop_requested():
+                    stop_reason = "stop_requested"
+                    break
+                if controller is not None:
+                    reason = controller.poll()
+                    if reason is not None:
+                        stop_reason = reason
+                        break
+                if max_cells is not None and (
+                    summary.executed + summary.cached
+                ) >= max_cells:
+                    stop_reason = "max_cells"
+                    break
+                cell_id = order[idx]
+                if cell_id in resolved:
+                    continue
+                record = queue.failure(cell_id)
+                if record and record.get("final"):
+                    resolved.add(cell_id)
+                    continue
+                if queue.claimed_elsewhere(cell_id):
+                    in_flight_seen = True
+                    continue
+                if not queue.try_claim(cell_id):
+                    in_flight_seen = True
+                    continue
+                # -- under this cell's lease --------------------------------
+                try:
+                    record = queue.failure(cell_id)
+                    if record and record.get("final"):
+                        resolved.add(cell_id)
+                        continue
+                    if cache.peek(cell_id) is not None:
+                        # Resolved elsewhere (a peer, or another campaign
+                        # sharing cells) since our last look: claim it as a
+                        # cache hit exactly once — we hold the lease.
+                        journal.append(
+                            journal_mod.EVENT_CELL_CACHED,
+                            cell_id=cell_id,
+                            label=by_id[cell_id].label,
+                            worker=worker_id,
+                            attempts=0,
+                        )
+                        resolved.add(cell_id)
+                        summary.cached += 1
+                        progress_made = True
+                        continue
+                    if cache.locked_by_other(cell_id):
+                        # Another campaign is computing this very cell on
+                        # the shared cache; let it finish, come back later.
+                        in_flight_seen = True
+                        continue
+                    attempt = int(record.get("attempts", 0) if record else 0) + 1
+                    journal.append(
+                        journal_mod.EVENT_CELL_START,
+                        cell_id=cell_id,
+                        label=by_id[cell_id].label,
+                        attempt=attempt,
+                        worker=worker_id,
+                    )
+                    cache.try_lock(cell_id)
+                    begin_cell(cell_id)
+                    say(f"run {by_id[cell_id].label} (attempt {attempt})")
+                    t0 = time.monotonic()
+                    try:
+                        metrics = runner_mod.execute_cell(
+                            by_id[cell_id].to_dict()
+                        )
+                    except KeyboardInterrupt:
+                        journal.append(
+                            journal_mod.EVENT_CELL_INTERRUPTED,
+                            cell_id=cell_id,
+                            label=by_id[cell_id].label,
+                            worker=worker_id,
+                        )
+                        raise
+                    except Exception as exc:  # noqa: BLE001 — isolate cells
+                        error = f"{type(exc).__name__}: {exc}"
+                        record = queue.record_failure(
+                            cell_id, error, max_attempts=max_attempts
+                        )
+                        journal.append(
+                            journal_mod.EVENT_CELL_ERROR,
+                            cell_id=cell_id,
+                            label=by_id[cell_id].label,
+                            error=error,
+                            attempts=record["attempts"],
+                            worker=worker_id,
+                        )
+                        if record.get("final"):
+                            resolved.add(cell_id)
+                            summary.failed += 1
+                        progress_made = True
+                    else:
+                        metrics["worker"] = worker_id
+                        cache.put_if_absent(cell_id, metrics)
+                        queue.clear_failure(cell_id)
+                        journal.append(
+                            journal_mod.EVENT_CELL_FINISH,
+                            cell_id=cell_id,
+                            label=by_id[cell_id].label,
+                            makespan_ms=metrics.get("makespan_ms"),
+                            attempts=attempt,
+                            worker=worker_id,
+                            wall_time_s=round(time.monotonic() - t0, 6),
+                        )
+                        resolved.add(cell_id)
+                        summary.executed += 1
+                        progress_made = True
+                    finally:
+                        end_cell()
+                        cache.unlock(cell_id)
+                finally:
+                    queue.release_claim(cell_id)
+            if stop_reason is not None:
+                summary.stop_reason = stop_reason
+                break
+            if len(resolved) >= len(order):
+                summary.stop_reason = "done"
+                break
+            if oneshot and not progress_made:
+                summary.stop_reason = "oneshot_drained"
+                break
+            if not progress_made:
+                # Unresolved work is leased to live peers (or another
+                # campaign); wait for results or lease expiry.
+                _ = in_flight_seen
+                time.sleep(poll_s)
+    except KeyboardInterrupt:
+        summary.stop_reason = "interrupted"
+        raise
+    finally:
+        heartbeat.stop()
+        with shared.lock:
+            shared.state = summary.stop_reason
+        heartbeat.beat()
+        journal.close()
+        say(
+            f"exit: {summary.stop_reason} ({summary.executed} executed, "
+            f"{summary.cached} cached, {summary.failed} failed)"
+        )
+    return summary

@@ -8,11 +8,21 @@ leaves a journal whose replay identifies exactly which cells completed;
 The reader is deliberately tolerant: a process killed mid-``write`` can
 leave a truncated final line, which replay skips rather than failing,
 and unknown event types are ignored so journals stay forward-compatible.
+
+Large campaigns resume through an *index* sidecar (``journal.jsonl.idx``):
+a snapshot of the folded :class:`JournalState` plus the byte offset it
+covers.  :func:`replay_indexed` seeks past the indexed prefix and folds
+only the tail, so resuming a million-cell campaign does not re-read (and
+re-parse) the whole journal every time.  The index is advisory — when
+missing, stale, or disagreeing with the journal head it is ignored and a
+full replay rebuilds it.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, IO
@@ -24,6 +34,17 @@ EVENT_CELL_FINISH = "cell_finish"
 EVENT_CELL_ERROR = "cell_error"
 EVENT_CELL_CACHED = "cell_cached"
 EVENT_CELL_INTERRUPTED = "cell_interrupted"
+EVENT_LEASE_EXPIRED = "lease_expired"
+
+#: Events that resolve a cell as completed.
+_COMPLETING = (EVENT_CELL_FINISH, EVENT_CELL_CACHED)
+
+#: Bumped when the index sidecar layout changes; other versions are ignored.
+INDEX_VERSION = 1
+
+#: Bytes of the journal head stored in the index to detect a journal that
+#: was truncated and rewritten underneath its sidecar.
+_HEAD_PROBE = 96
 
 
 class Journal:
@@ -32,6 +53,8 @@ class Journal:
     def __init__(self, path: str | Path, *, resume: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume:
+            _repair_torn_tail(self.path)
         mode = "a" if resume else "w"
         self._fh: IO[str] | None = open(self.path, mode, encoding="utf-8")
         self._seq = 0
@@ -40,7 +63,12 @@ class Journal:
         if self._fh is None:
             raise ValueError("journal is closed")
         self._seq += 1
-        record = {"event": event, "seq": self._seq, **fields}
+        record = {
+            "event": event,
+            "seq": self._seq,
+            "ts": round(time.time(), 3),
+            **fields,
+        }
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
 
@@ -56,6 +84,27 @@ class Journal:
         self.close()
 
 
+def _repair_torn_tail(path: Path) -> None:
+    """Terminate a torn final line before appending after a crash.
+
+    A process killed mid-``write`` can leave the journal without a final
+    newline; appending straight after it would glue the next record onto
+    the torn fragment and lose *both* lines.  A lone newline keeps the
+    fragment isolated (replay already skips unparseable lines).
+    """
+    try:
+        with open(path, "rb+") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size == 0:
+                return
+            fh.seek(size - 1)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+    except FileNotFoundError:
+        pass
+
+
 @dataclass
 class JournalState:
     """Replay of a journal: where a (possibly crashed) campaign got to."""
@@ -65,6 +114,8 @@ class JournalState:
     started: set[str] = field(default_factory=set)
     interrupted: set[str] = field(default_factory=set)
     events: int = 0
+    #: byte offset of the last fully-parsed line (what an index may skip to)
+    offset: int = 0
 
     @property
     def incomplete(self) -> set[str]:
@@ -73,43 +124,153 @@ class JournalState:
             self.started | set(self.errored) | self.interrupted
         ) - self.completed
 
+    def fold(self, record: dict[str, Any]) -> None:
+        """Fold one journal event into the state."""
+        self.events += 1
+        cell_id = record.get("cell_id")
+        if not cell_id:
+            return
+        event = record["event"]
+        if event == EVENT_CELL_START:
+            self.started.add(cell_id)
+        elif event in _COMPLETING:
+            self.completed.add(cell_id)
+        elif event == EVENT_CELL_ERROR:
+            self.errored[cell_id] = self.errored.get(cell_id, 0) + 1
+        elif event == EVENT_CELL_INTERRUPTED:
+            # Interrupted cells stay incomplete: --resume re-runs them.
+            self.interrupted.add(cell_id)
 
-def read_events(path: str | Path) -> list[dict[str, Any]]:
-    """All parseable events in the journal; a truncated tail is skipped."""
+
+def read_events_from(
+    path: str | Path, offset: int = 0
+) -> tuple[list[dict[str, Any]], int]:
+    """Parseable events at/after ``offset``, plus the offset consumed.
+
+    Only newline-terminated lines count toward the returned offset, so a
+    torn tail (crash mid-write) is neither parsed nor consumed — a later
+    call resumes exactly where this one stopped.
+    """
     events: list[dict[str, Any]] = []
     try:
-        with open(path, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            consumed = offset
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    break  # torn tail — leave it for the next reader
+                consumed += len(raw)
+                line = raw.strip()
                 if not line:
                     continue
                 try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
+                    record = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
                     continue  # torn write from a crash — ignore
                 if isinstance(record, dict) and "event" in record:
                     events.append(record)
     except FileNotFoundError:
-        return []
+        return [], offset
+    return events, consumed
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """All parseable events in the journal; a truncated tail is skipped."""
+    events, _offset = read_events_from(path, 0)
     return events
 
 
 def replay(path: str | Path) -> JournalState:
-    """Fold the journal into the completed/incomplete cell sets."""
+    """Fold the whole journal into the completed/incomplete cell sets."""
     state = JournalState()
-    for record in read_events(path):
-        state.events += 1
-        cell_id = record.get("cell_id")
-        event = record["event"]
-        if not cell_id:
-            continue
-        if event == EVENT_CELL_START:
-            state.started.add(cell_id)
-        elif event in (EVENT_CELL_FINISH, EVENT_CELL_CACHED):
-            state.completed.add(cell_id)
-        elif event == EVENT_CELL_ERROR:
-            state.errored[cell_id] = state.errored.get(cell_id, 0) + 1
-        elif event == EVENT_CELL_INTERRUPTED:
-            # Interrupted cells stay incomplete: --resume re-runs them.
-            state.interrupted.add(cell_id)
+    events, offset = read_events_from(path, 0)
+    for record in events:
+        state.fold(record)
+    state.offset = offset
+    return state
+
+
+# -- index sidecar ---------------------------------------------------------------
+
+
+def index_path(path: str | Path) -> Path:
+    path = Path(path)
+    return path.with_name(path.name + ".idx")
+
+
+def _journal_head(path: Path) -> str:
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(_HEAD_PROBE).decode("utf-8", "replace")
+    except FileNotFoundError:
+        return ""
+
+
+def write_index(path: str | Path, state: JournalState) -> Path:
+    """Atomically persist a replay snapshot next to the journal."""
+    path = Path(path)
+    idx = index_path(path)
+    doc = {
+        "version": INDEX_VERSION,
+        "offset": state.offset,
+        "head": _journal_head(path),
+        "events": state.events,
+        "completed": sorted(state.completed),
+        "errored": state.errored,
+        "started": sorted(state.started),
+        "interrupted": sorted(state.interrupted),
+    }
+    tmp = idx.with_name(idx.name + f".{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    os.replace(tmp, idx)
+    return idx
+
+
+def _load_index(path: Path) -> JournalState | None:
+    """The indexed prefix state, or None when absent/stale/untrusted."""
+    try:
+        with open(index_path(path), encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict) or doc.get("version") != INDEX_VERSION:
+        return None
+    try:
+        offset = int(doc["offset"])
+        if offset < 0 or offset > path.stat().st_size:
+            return None  # journal shrank: it was truncated/rewritten
+        head = str(doc["head"])
+        if head != _journal_head(path)[: len(head)]:
+            return None  # different journal under the same name
+        return JournalState(
+            completed=set(doc["completed"]),
+            errored={str(k): int(v) for k, v in doc["errored"].items()},
+            started=set(doc["started"]),
+            interrupted=set(doc["interrupted"]),
+            events=int(doc["events"]),
+            offset=offset,
+        )
+    except (KeyError, TypeError, ValueError, OSError):
+        return None
+
+
+def replay_indexed(path: str | Path, *, write: bool = True) -> JournalState:
+    """Like :func:`replay` but seeded from the index sidecar when valid.
+
+    Only the journal tail past the indexed offset is read; the refreshed
+    snapshot is written back (``write=False`` for read-only callers such
+    as ``sweep --status`` on another host's campaign directory).
+    """
+    path = Path(path)
+    state = _load_index(path) or JournalState()
+    events, offset = read_events_from(path, state.offset)
+    for record in events:
+        state.fold(record)
+    state.offset = offset
+    if write and (events or state.events == 0):
+        try:
+            write_index(path, state)
+        except OSError:
+            pass  # a read-only campaign dir only costs the fast path
     return state

@@ -19,6 +19,7 @@ pickle boundary.  :func:`run_campaign` orchestrates a whole sweep:
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -126,6 +127,10 @@ def execute_cell(cell_data: dict[str, Any]) -> dict[str, Any]:
             for app, times in sorted(stats.app_response_times.items())
         },
         "wall_time_s": time.monotonic() - t0,
+        # who computed this cell: a sweep-worker id when running under the
+        # distributed service, else the executing process — lets slow or
+        # flaky workers be diagnosed from the journal/results alone
+        "worker": os.environ.get("DSSOC_WORKER_ID") or f"pid{os.getpid()}",
     }
     if stats.faults_enabled:
         metrics["faults"] = {
@@ -194,6 +199,8 @@ class CellResult:
                 "tasks",
                 "apps_completed",
                 "apps_degraded",
+                "wall_time_s",
+                "worker",
             ):
                 row[key] = self.metrics.get(key)
         if self.error:
@@ -310,14 +317,15 @@ class _Recorder:
                     if result.cached
                     else journal_mod.EVENT_CELL_FINISH
                 )
+                metrics = result.metrics or {}
                 self.journal.append(
                     event,
                     cell_id=result.cell.cell_id,
                     label=result.cell.label,
-                    makespan_ms=result.metrics.get("makespan_ms")
-                    if result.metrics
-                    else None,
+                    makespan_ms=metrics.get("makespan_ms"),
                     attempts=result.attempts,
+                    worker=metrics.get("worker"),
+                    wall_time_s=metrics.get("wall_time_s"),
                 )
             else:
                 self.journal.append(
@@ -495,7 +503,10 @@ def run_campaign(
         cache = ResultCache(out_path / "cache")
         journal_path = out_path / "journal.jsonl"
         if resume:
-            prior = journal_mod.replay(journal_path)
+            # Indexed fast path: fold only the journal tail past the
+            # snapshot in journal.jsonl.idx instead of re-reading the
+            # whole log on every resume of a large campaign.
+            prior = journal_mod.replay_indexed(journal_path)
         journal = Journal(journal_path, resume=resume)
         journal.append(
             journal_mod.EVENT_CAMPAIGN_START,
@@ -554,6 +565,9 @@ def run_campaign(
     finally:
         if journal:
             journal.close()
+            # Refresh the index sidecar so the next --resume (or --status)
+            # starts from this campaign's end instead of replaying it.
+            journal_mod.replay_indexed(journal.path)
 
     results = [recorder.collected[cell.cell_id] for cell in cells]
     campaign = CampaignResult(

@@ -185,6 +185,87 @@ class TestJournal:
             journal.append(journal_mod.EVENT_CELL_FINISH, cell_id="b")
         assert journal_mod.replay(path).completed == {"a", "b"}
 
+    def test_resume_repairs_torn_tail(self, tmp_path):
+        # A record appended right after a crash-torn line must not be
+        # glued onto the fragment (which would lose both lines).
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(journal_mod.EVENT_CELL_FINISH, cell_id="a")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "cell_finish", "cell_id": "tor')  # no \n
+        with Journal(path, resume=True) as journal:
+            journal.append(journal_mod.EVENT_CELL_FINISH, cell_id="b")
+        assert journal_mod.replay(path).completed == {"a", "b"}
+
+
+class TestJournalIndex:
+    def fill(self, path, n, start=0):
+        with Journal(path, resume=path.exists()) as journal:
+            for i in range(start, start + n):
+                journal.append(journal_mod.EVENT_CELL_START, cell_id=f"c{i}")
+                journal.append(journal_mod.EVENT_CELL_FINISH, cell_id=f"c{i}")
+
+    def test_indexed_replay_matches_full_replay(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.fill(path, 5)
+        state = journal_mod.replay_indexed(path)
+        assert journal_mod.index_path(path).exists()
+        full = journal_mod.replay(path)
+        assert state.completed == full.completed
+        assert state.offset == full.offset
+
+    def test_index_fast_path_folds_only_the_tail(self, tmp_path, monkeypatch):
+        path = tmp_path / "j.jsonl"
+        self.fill(path, 5)
+        journal_mod.replay_indexed(path)  # builds the sidecar
+        self.fill(path, 2, start=5)
+
+        calls = []
+        real = journal_mod.read_events_from
+
+        def spy(p, offset=0):
+            calls.append(offset)
+            return real(p, offset)
+
+        monkeypatch.setattr(journal_mod, "read_events_from", spy)
+        state = journal_mod.replay_indexed(path)
+        assert state.completed == {f"c{i}" for i in range(7)}
+        assert calls and calls[0] > 0  # seeked past the indexed prefix
+
+    def test_stale_index_falls_back_to_full_replay(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.fill(path, 4)
+        journal_mod.replay_indexed(path)
+        # The journal is rewritten underneath its sidecar (new campaign).
+        path.unlink()
+        self.fill(path, 2)
+        state = journal_mod.replay_indexed(path)
+        assert state.completed == {"c0", "c1"}
+
+    def test_corrupt_index_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.fill(path, 2)
+        journal_mod.index_path(path).write_text("garbage", encoding="utf-8")
+        state = journal_mod.replay_indexed(path)
+        assert state.completed == {"c0", "c1"}
+
+    def test_campaign_resume_reads_via_index(self, tmp_path, monkeypatch):
+        grid = tiny_grid()
+        run_campaign(grid, out_dir=tmp_path)
+        idx = journal_mod.index_path(tmp_path / "journal.jsonl")
+        assert idx.exists()  # the runner refreshes the sidecar on exit
+        called = []
+        real = journal_mod.replay_indexed
+
+        def spy(path, **kw):
+            called.append(str(path))
+            return real(path, **kw)
+
+        monkeypatch.setattr(journal_mod, "replay_indexed", spy)
+        campaign = run_campaign(grid, out_dir=tmp_path, resume=True)
+        assert campaign.ok and called
+        assert campaign.summary()["executed"] == 0
+
 
 class TestCampaignInline:
     def test_results_in_grid_order(self):
@@ -430,3 +511,47 @@ class TestInterruptedSweep:
         assert campaign.cached_hits == 1
         state = journal_mod.replay(tmp_path / "journal.jsonl")
         assert state.incomplete == set()
+
+
+class TestWorkerAttribution:
+    def test_rows_carry_worker_and_wall_time(self, tmp_path):
+        campaign = run_campaign(
+            tiny_grid(configs=("2C+1F",), policies=("frfs",)),
+            out_dir=tmp_path,
+        )
+        row = campaign.rows()[0]
+        assert row["worker"].startswith("pid")
+        assert row["wall_time_s"] > 0
+
+    def test_journal_finish_carries_attribution(self, tmp_path):
+        run_campaign(
+            tiny_grid(configs=("2C+1F",), policies=("frfs",)),
+            out_dir=tmp_path,
+        )
+        events = journal_mod.read_events(tmp_path / "journal.jsonl")
+        finish = [e for e in events
+                  if e["event"] == journal_mod.EVENT_CELL_FINISH][0]
+        assert finish["worker"].startswith("pid")
+        assert finish["wall_time_s"] > 0
+
+    def test_worker_id_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("DSSOC_WORKER_ID", "custom-worker")
+        campaign = run_campaign(
+            tiny_grid(configs=("2C+1F",), policies=("frfs",)),
+            out_dir=tmp_path,
+        )
+        assert campaign.rows()[0]["worker"] == "custom-worker"
+
+    def test_attribution_does_not_change_cell_identity(self, tmp_path):
+        # worker/wall_time_s live in the metrics payload but never feed
+        # the content hash: two hosts computing the same cell share it.
+        campaign = run_campaign(
+            tiny_grid(configs=("2C+1F",), policies=("frfs",)),
+            out_dir=tmp_path,
+        )
+        again = run_campaign(
+            tiny_grid(configs=("2C+1F",), policies=("frfs",)),
+            out_dir=tmp_path, resume=True,
+        )
+        assert again.cached_hits == 1
+        assert campaign.rows()[0]["cell_id"] == again.rows()[0]["cell_id"]
