@@ -1,0 +1,60 @@
+"""Loader for the optional compiled DES core extension.
+
+The extension (``repro._native._coreext``) is built from ``_coreext.c``
+either by ``python -m repro._native.build`` (in-place, gcc) or by the
+optional setuptools hook in ``setup.py``.  Import failures are captured,
+not raised: the package must keep working from a source checkout with no
+compiler, so callers decide whether a missing extension is an error
+(explicit ``--core compiled``) or a fallback (env/auto selection) —
+see :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+_module: ModuleType | None = None
+_error: str | None = None
+_attempted = False
+
+
+def load() -> ModuleType | None:
+    """The compiled extension module, or None if it cannot be imported."""
+    global _module, _error, _attempted
+    if not _attempted:
+        _attempted = True
+        try:
+            from repro._native import _coreext  # type: ignore[attr-defined]
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            _module = None
+            _error = str(exc)
+        else:
+            _module = _coreext
+            _error = None
+    return _module
+
+
+def available() -> bool:
+    return load() is not None
+
+
+def import_error() -> str | None:
+    """The captured ImportError message, or None when loaded."""
+    load()
+    return _error
+
+
+def build_info() -> dict | None:
+    """Toolchain metadata baked into the extension, or None."""
+    mod = load()
+    if mod is None:
+        return None
+    return dict(mod.BUILD_INFO)
+
+
+def reset_for_tests() -> None:
+    """Forget the cached import attempt (test hook)."""
+    global _module, _error, _attempted
+    _module = None
+    _error = None
+    _attempted = False

@@ -1,0 +1,66 @@
+"""In-place build of the compiled core extension.
+
+``python -m repro._native.build`` compiles ``_coreext.c`` next to this
+file with the C compiler from the environment (``CC``, default ``cc``),
+so a plain source checkout can enable the compiled core without
+setuptools ceremony.  Exits non-zero (with the compiler's output) on
+failure; the package itself never requires the result.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SOURCE = HERE / "_coreext.c"
+
+
+def target_path() -> Path:
+    """Where the built extension lands (ABI-tagged, import-ready)."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return HERE / f"_coreext{suffix}"
+
+
+def build(verbose: bool = True) -> Path:
+    """Compile the extension in place; returns the built path."""
+    cc = os.environ.get("CC", "cc")
+    include = sysconfig.get_paths()["include"]
+    out = target_path()
+    cmd = [
+        cc,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-fno-strict-aliasing",
+        f"-I{include}",
+        str(SOURCE),
+        "-o",
+        str(out),
+    ]
+    if verbose:
+        print(" ".join(cmd))
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"compiled-core build failed (exit {proc.returncode})")
+    if verbose:
+        print(f"built {out}")
+    return out
+
+
+def main() -> int:
+    try:
+        build()
+    except (RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

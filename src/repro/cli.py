@@ -63,6 +63,25 @@ def _backend(name: str):
     raise ReproError(f"unknown backend {name!r} (virtual | threaded)")
 
 
+def _apply_core(args: argparse.Namespace) -> None:
+    """Apply ``--core`` for this process and any children it spawns.
+
+    ``set_core`` validates the choice (an explicit ``compiled`` with no
+    importable extension is an error, not a fallback); exporting the
+    selection through ``DSSOC_CORE`` makes sweep worker processes
+    inherit it.
+    """
+    choice = getattr(args, "core", None)
+    if not choice:
+        return
+    from repro import core as core_select
+
+    core_select.set_core(choice)
+    import os
+
+    os.environ[core_select.ENV_VAR] = choice
+
+
 def _qos_controller(args: argparse.Namespace) -> QoSController:
     """One controller per run/perf invocation, even with no QoS spec: the
     empty controller carries the interrupt flag the signal handlers set,
@@ -112,6 +131,7 @@ def _interrupt_exit_code(stats) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _apply_core(args)
     faults = FaultSpec.from_json_file(args.faults) if args.faults else None
     controller = _qos_controller(args)
     emu = Emulation(
@@ -153,10 +173,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         with _graceful_signals(controller):
             result = emu.run(workload, backend)
     if args.json:
+        from repro import core as core_select
         from repro.analysis.trace_export import records_as_dicts
 
         doc = {
             "summary": result.stats.summary(),
+            "core": core_select.core_info(),
             "tasks": records_as_dicts(result.stats),
         }
         if args.backend == "threaded":
@@ -284,6 +306,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     # --status / --gc operate on an existing campaign directory and run
     # no cells; the grid flags only serve to derive the default --out.
+    _apply_core(args)
     if args.gc:
         from repro.dse.maintenance import gc_campaign
 
@@ -388,6 +411,7 @@ def cmd_sweep_worker(args: argparse.Namespace) -> int:
     """
     from repro.dse.distrib import run_worker
 
+    _apply_core(args)
     controller = QoSController(None, wall_budget_s=args.wall_budget)
 
     def log(msg: str) -> None:
@@ -411,6 +435,7 @@ def cmd_sweep_worker(args: argparse.Namespace) -> int:
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
+    _apply_core(args)
     if args.rate not in TABLE_II_RATES:
         print(f"rate must be one of {TABLE_II_RATES}", file=sys.stderr)
         return EXIT_USAGE
@@ -433,9 +458,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf benchmark suite; write a BENCH_<timestamp>.json report."""
     from repro.perf import (
         compare_reports,
+        format_core_compare,
         format_report,
         load_report,
         run_suite,
+        run_suite_compare_cores,
         scenario_names,
         write_report,
     )
@@ -444,12 +471,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for name in scenario_names():
             print(name)
         return 0
+    _apply_core(args)
     names = _parse_list(args.scenario) if args.scenario else None
     quiet = args.json
 
     def progress(done: int, total: int, name: str) -> None:
         if not quiet:
             print(f"[{done + 1}/{total}] {name} ...", file=sys.stderr)
+
+    if args.compare_cores:
+        pure_doc, compiled_doc = run_suite_compare_cores(
+            names,
+            reps=args.reps,
+            warmup=args.warmup,
+            quick=args.quick,
+            progress=progress,
+        )
+        paths = []
+        if not args.no_write:
+            paths = [
+                write_report(pure_doc, out_dir=args.out, tag="pure"),
+                write_report(compiled_doc, out_dir=args.out, tag="compiled"),
+            ]
+        if args.json:
+            print(json.dumps(
+                {"pure": pure_doc, "compiled": compiled_doc}, indent=2
+            ))
+        else:
+            print(format_core_compare(pure_doc, compiled_doc))
+        for p in paths:
+            print(f"report written to {p}", file=sys.stderr)
+        return 0
 
     doc = run_suite(
         names,
@@ -543,7 +595,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_core_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--core", default="",
+                       choices=["auto", "pure", "compiled"],
+                       help="DES core variant (default: DSSOC_CORE env or "
+                            "auto); 'compiled' errors if the extension is "
+                            "not built")
+
     run_p = sub.add_parser("run", help="validation-mode emulation")
+    add_core_flag(run_p)
     run_p.add_argument("--platform", default="zcu102")
     run_p.add_argument("--config", default="3C+2F")
     run_p.add_argument("--policy", default="frfs")
@@ -572,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.set_defaults(fn=cmd_run)
 
     perf_p = sub.add_parser("perf", help="performance-mode emulation")
+    add_core_flag(perf_p)
     perf_p.add_argument("--platform", default="zcu102")
     perf_p.add_argument("--config", default="3C+2F")
     perf_p.add_argument("--policy", default="frfs")
@@ -590,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser(
         "sweep", help="run a DSE campaign (configs x policies x workloads)"
     )
+    add_core_flag(sweep_p)
     sweep_p.add_argument("--spec", default="",
                          help="JSON campaign spec file (overrides grid flags)")
     sweep_p.add_argument("--platforms", default="zcu102")
@@ -658,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep-worker",
         help="attach one worker to a distributed sweep campaign directory",
     )
+    add_core_flag(worker_p)
     worker_p.add_argument("--out", required=True,
                           help="campaign directory (as passed to sweep --out)")
     worker_p.add_argument("--worker-id", default="",
@@ -679,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p = sub.add_parser(
         "bench", help="measure emulator throughput on canonical scenarios"
     )
+    add_core_flag(bench_p)
     bench_p.add_argument("--scenario", default="",
                          help="comma-separated scenario names (default: all)")
     bench_p.add_argument("--quick", action="store_true",
@@ -698,6 +762,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the report document as JSON on stdout")
     bench_p.add_argument("--list", action="store_true",
                          help="list scenario names and exit")
+    bench_p.add_argument("--compare-cores", action="store_true",
+                         help="run every scenario under both the pure and "
+                              "compiled cores (interleaved), assert their "
+                              "stats are bit-identical, and print a speedup "
+                              "table; writes one BENCH report per core")
     bench_p.set_defaults(fn=cmd_bench)
 
     list_p = sub.add_parser("list", help="show registered apps and policies")

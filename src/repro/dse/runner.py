@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from repro import core as core_select
 from repro.dse import journal as journal_mod
 from repro.dse.cache import ResultCache
 from repro.dse.grid import SweepCell, SweepGrid, build_workload, describe_workload
@@ -131,6 +132,9 @@ def execute_cell(cell_data: dict[str, Any]) -> dict[str, Any]:
         # distributed service, else the executing process — lets slow or
         # flaky workers be diagnosed from the journal/results alone
         "worker": os.environ.get("DSSOC_WORKER_ID") or f"pid{os.getpid()}",
+        # which DES core produced it (variant + build metadata); workers
+        # inherit the coordinator's --core choice through DSSOC_CORE
+        "core": core_select.core_info(),
     }
     if stats.faults_enabled:
         metrics["faults"] = {
@@ -203,6 +207,11 @@ class CellResult:
                 "worker",
             ):
                 row[key] = self.metrics.get(key)
+            # flatten to the variant string: rows feed tables, where a
+            # nested build dict would be noise (full metadata stays in
+            # the cached metrics document)
+            core = self.metrics.get("core")
+            row["core"] = core.get("variant") if core else None
         if self.error:
             row["error"] = self.error
         return row

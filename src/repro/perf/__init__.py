@@ -17,10 +17,12 @@ Entry points: ``dssoc-emulate bench`` (CLI) or :func:`run_suite` /
 
 from repro.perf.harness import (
     compare_reports,
+    format_core_compare,
     format_report,
     load_report,
     run_scenario,
     run_suite,
+    run_suite_compare_cores,
     write_report,
 )
 from repro.perf.scenarios import (
@@ -34,11 +36,13 @@ __all__ = [
     "BenchScenario",
     "SCENARIOS",
     "compare_reports",
+    "format_core_compare",
     "format_report",
     "get_scenario",
     "load_report",
     "run_scenario",
     "run_suite",
+    "run_suite_compare_cores",
     "scenario_names",
     "write_report",
 ]

@@ -18,11 +18,18 @@ import sys
 import time
 from pathlib import Path
 
+from repro import core as core_select
 from repro.common.errors import ReproError
 from repro.perf.scenarios import SCENARIOS, get_scenario
 
 SCHEMA = "dssoc-bench/v1"
 DEFAULT_OUT_DIR = "benchmarks/results"
+
+#: stats that must be bit-identical between the pure and compiled cores
+#: (wall times are the only thing allowed to differ)
+DETERMINISTIC_KEYS = (
+    "events", "tasks", "apps_completed", "makespan_ms", "sched_invocations",
+)
 
 
 def run_scenario(name: str, *, reps: int = 3, warmup: int = 1,
@@ -78,6 +85,10 @@ def run_suite(names: list[str] | None = None, *, reps: int = 3,
         scenarios[name] = run_scenario(
             name, reps=reps, warmup=warmup, quick=quick
         )
+    return _make_doc(scenarios, quick=quick)
+
+
+def _make_doc(scenarios: dict[str, dict], *, quick: bool) -> dict:
     total_wall = sum(s["wall_s_median"] for s in scenarios.values())
     total_events = sum(s["events"] for s in scenarios.values())
     total_tasks = sum(s["tasks"] for s in scenarios.values())
@@ -90,6 +101,7 @@ def run_suite(names: list[str] | None = None, *, reps: int = 3,
             "platform": _platform.platform(),
             "cpu_count": os.cpu_count(),
         },
+        "core": core_select.core_info(),
         "git_commit": _git_commit(),
         "scenarios": scenarios,
         "totals": {
@@ -106,15 +118,91 @@ def run_suite(names: list[str] | None = None, *, reps: int = 3,
     }
 
 
-def write_report(doc: dict, out_dir: str | Path = DEFAULT_OUT_DIR) -> Path:
-    """Persist a report as ``BENCH_<timestamp>.json``; returns the path."""
+def run_suite_compare_cores(names: list[str] | None = None, *,
+                            reps: int = 3, warmup: int = 1,
+                            quick: bool = False,
+                            progress=None) -> tuple[dict, dict]:
+    """Run the suite under both cores; return (pure_doc, compiled_doc).
+
+    The cores are interleaved per scenario (pure then compiled back to
+    back) so machine drift hits both sides equally, and every scenario's
+    deterministic stats are asserted bit-identical between them — a wall
+    time may differ, the emulation must not.  Raises :class:`ReproError`
+    when the compiled extension is not importable: an explicit
+    comparison request cannot be satisfied by a silent fallback.
+    """
+    if quick:
+        reps, warmup = min(reps, 1), 0
+    selected = names if names else [s.name for s in SCENARIOS]
+    pure: dict[str, dict] = {}
+    compiled: dict[str, dict] = {}
+    for i, name in enumerate(selected):
+        if progress is not None:
+            progress(i, len(selected), name)
+        with core_select.forced(core_select.CORE_PURE):
+            pure[name] = run_scenario(name, reps=reps, warmup=warmup,
+                                      quick=quick)
+        with core_select.forced(core_select.CORE_COMPILED):
+            compiled[name] = run_scenario(name, reps=reps, warmup=warmup,
+                                          quick=quick)
+        for key in DETERMINISTIC_KEYS:
+            if pure[name][key] != compiled[name][key]:
+                raise ReproError(
+                    f"scenario {name!r}: cores disagree on {key} "
+                    f"(pure={pure[name][key]!r}, "
+                    f"compiled={compiled[name][key]!r})"
+                )
+    with core_select.forced(core_select.CORE_PURE):
+        pure_doc = _make_doc(pure, quick=quick)
+    with core_select.forced(core_select.CORE_COMPILED):
+        compiled_doc = _make_doc(compiled, quick=quick)
+    return pure_doc, compiled_doc
+
+
+def format_core_compare(pure_doc: dict, compiled_doc: dict) -> str:
+    """Per-scenario speedup table for a compare-cores run."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for name, p in pure_doc["scenarios"].items():
+        c = compiled_doc["scenarios"][name]
+        speedup = (
+            p["wall_s_median"] / c["wall_s_median"]
+            if c["wall_s_median"] > 0
+            else float("inf")
+        )
+        rows.append(
+            [
+                name,
+                f"{p['wall_s_median']:.3f}",
+                f"{c['wall_s_median']:.3f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+    build = compiled_doc.get("core", {}).get("build", {})
+    toolchain = build.get("toolchain", "?")
+    return format_table(
+        ["scenario", "pure wall s", "compiled wall s", "speedup"],
+        rows,
+        title=f"core compare: pure -> compiled ({toolchain})",
+    )
+
+
+def write_report(doc: dict, out_dir: str | Path = DEFAULT_OUT_DIR,
+                 *, tag: str = "") -> Path:
+    """Persist a report as ``BENCH_<timestamp>[_<tag>].json``.
+
+    ``tag`` distinguishes reports written in the same invocation (the
+    compare-cores pair uses ``pure``/``compiled``).
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     stamp = time.strftime("%Y%m%dT%H%M%S")
-    path = out / f"BENCH_{stamp}.json"
+    suffix = f"_{tag}" if tag else ""
+    path = out / f"BENCH_{stamp}{suffix}.json"
     n = 1
     while path.exists():  # same-second reruns
-        path = out / f"BENCH_{stamp}_{n}.json"
+        path = out / f"BENCH_{stamp}{suffix}_{n}.json"
         n += 1
     path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
     return path

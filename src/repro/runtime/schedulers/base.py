@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
+from repro import core as core_select
 from repro.appmodel.instance import TaskInstance
 from repro.common.errors import SchedulingError
 from repro.runtime.handler import PEStatus, ResourceHandler
@@ -55,6 +56,13 @@ class Scheduler:
         self._row_oracle: ExecutionTimeOracle | None = None
         self._est_rows: dict[int, tuple] = {}
         self._support_rows: dict[int, tuple] = {}
+        self._est_fb = None
+        self._support_fb = None
+        # Compiled placement-loop kernels, bound at construction (None on
+        # the pure core).  Subclass schedule() implementations branch on
+        # this and hand the positional inner loop to C; results are
+        # bit-identical by contract.
+        self._kernels = core_select.native_kernels()
 
     def schedule(
         self,
@@ -73,6 +81,8 @@ class Scheduler:
             self._row_oracle = self.oracle
             self._est_rows = {}
             self._support_rows = {}
+            self._est_fb = None
+            self._support_fb = None
 
     def estimate_row(
         self, task: TaskInstance, handlers: list[ResourceHandler]
@@ -107,6 +117,27 @@ class Scheduler:
         row = tuple(node.supports_any(h.accepted_platforms) for h in handlers)
         self._support_rows[id(node)] = (node, row)
         return row
+
+    def _est_fallback(self, handlers: list[ResourceHandler]):
+        """Row-cache-miss closure handed to the compiled kernels.
+
+        Cached alongside the row caches (callers must have run
+        :meth:`_sync_row_cache` with the same ``handlers`` first, so the
+        captured list is always the synced one)."""
+        fb = self._est_fb
+        if fb is None:
+            fb = self._est_fb = (
+                lambda task: self.estimate_row(task, handlers)
+            )
+        return fb
+
+    def _support_fallback(self, handlers: list[ResourceHandler]):
+        fb = self._support_fb
+        if fb is None:
+            fb = self._support_fb = (
+                lambda task: self.support_row(task, handlers)
+            )
+        return fb
 
     @staticmethod
     def idle_handlers(handlers: list[ResourceHandler]) -> list[ResourceHandler]:

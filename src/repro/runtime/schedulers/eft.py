@@ -25,6 +25,17 @@ class EFTScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
+        kern = self._kernels
+        if kern is not None:
+            # The availability prologue and placement loop both run in C;
+            # the kernel reads handler.failed/.status/.estimated_free_time
+            # exactly as the pure loop below does.
+            self._sync_row_cache(handlers)
+            pairs = kern.eft_pass(
+                ready, self._est_rows, self._est_fallback(handlers),
+                handlers, now,
+            )
+            return [Assignment(task, handlers[i]) for task, i in pairs]
         # Availability estimates, positional over ``handlers``: idle PEs are
         # free now; busy PEs free at their tracked estimate (never in the
         # past).  Positional arrays + cached estimate rows keep the

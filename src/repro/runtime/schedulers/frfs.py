@@ -23,6 +23,16 @@ class FRFSScheduler(Scheduler):
         handlers: list[ResourceHandler],
         now: float,
     ) -> list[Assignment]:
+        kern = self._kernels
+        if kern is not None:
+            # Idle-pool scan and placement both in C; reads handler.status
+            # exactly as the pure pool construction below does.
+            self._sync_row_cache(handlers)
+            pairs = kern.frfs_pass(
+                ready, self._support_rows, self._support_fallback(handlers),
+                handlers,
+            )
+            return [Assignment(task, handlers[i]) for task, i in pairs]
         # (position-in-handlers, handler) pairs; removing a dispatched PE
         # keeps the remaining idle PEs in original order, so "first idle
         # supporting PE" is unchanged.  FAILED is terminal and never IDLE,

@@ -71,6 +71,15 @@ class HEFTScheduler(Scheduler):
             ready,
             key=lambda t: -self._ranks(t.app.graph, handlers)[t.name],
         )
+        kern = self._kernels
+        if kern is not None:
+            # Priority sort above, prologue + placement loop in C (EFT's).
+            self._sync_row_cache(handlers)
+            pairs = kern.eft_pass(
+                prioritized, self._est_rows, self._est_fallback(handlers),
+                handlers, now,
+            )
+            return [Assignment(task, handlers[i]) for task, i in pairs]
         avail: list[float] = []
         idle_now: list[bool] = []
         idle_remaining = 0

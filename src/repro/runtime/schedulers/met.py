@@ -25,6 +25,11 @@ class METScheduler(Scheduler):
     def _cost(self, task: TaskInstance, handler: ResourceHandler, est: float) -> float:
         return est
 
+    def _cost_multipliers(self, available) -> list[float] | None:
+        """Per-pool cost multipliers for the compiled kernel (None = raw
+        estimates, the plain-MET cost)."""
+        return None
+
     def schedule(
         self,
         ready: list[TaskInstance],
@@ -39,6 +44,16 @@ class METScheduler(Scheduler):
         ]
         if not available:
             return []
+        kern = self._kernels
+        if kern is not None:
+            self._sync_row_cache(handlers)
+            pairs = kern.met_pass(
+                ready, self._est_rows, self._est_fallback(handlers),
+                [i for i, _h in available],
+                [h.pe_id for _i, h in available],
+                self._cost_multipliers(available),
+            )
+            return [Assignment(task, handlers[i]) for task, i in pairs]
         estimate_row = self.estimate_row
         cost = self._cost
         assignments: list[Assignment] = []
@@ -67,3 +82,6 @@ class PowerAwareMETScheduler(METScheduler):
 
     def _cost(self, task: TaskInstance, handler: ResourceHandler, est: float) -> float:
         return est * handler.pe.pe_type.active_power_w
+
+    def _cost_multipliers(self, available) -> list[float] | None:
+        return [h.pe.pe_type.active_power_w for _i, h in available]

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from itertools import islice
 
+from repro import core as core_select
 from repro.appmodel.instance import ApplicationInstance, TaskInstance, TaskState
 from repro.common.errors import EmulationError
 from repro.runtime.faults import FaultInjector
@@ -119,7 +120,11 @@ class WorkloadManagerCore:
         self.validate = validate
         self.faults = faults
         self.qos = qos
-        self.ready = ReadyList()
+        # Same structure twice: the compiled ReadyList walks its members
+        # in C (which is what keeps the scheduler kernels' iteration off
+        # the Python generator path); semantics are identical.
+        kernels = core_select.native_kernels()
+        self.ready = kernels.ReadyList() if kernels is not None else ReadyList()
         self.arrival_idx = 0
         self.apps_completed = 0
         self.apps_degraded = 0

@@ -1,0 +1,310 @@
+"""Compiled-core tests: selection semantics + pure/compiled equivalence.
+
+The compiled extension (``repro._native._coreext``) is bit-identical to
+the pure-Python core by contract; these tests are that contract's
+enforcement.  Everything under ``needs_ext`` skips cleanly when the
+extension has not been built (``python -m repro._native.build``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import warnings
+
+import pytest
+
+from repro import _native
+from repro import core as core_select
+from repro.common.errors import EmulationError, ReproError
+from repro.hardware.platform import zcu102
+from repro.runtime.backends import VirtualBackend
+from repro.runtime.emulation import Emulation
+from repro.runtime.faults import FaultSpec, PEFailure
+from repro.runtime.qos import QoSController, QoSSpec
+from repro.runtime.workload import validation_workload
+from repro.experiments.workloads import table_ii_workload
+
+HAVE_EXT = _native.available()
+needs_ext = pytest.mark.skipif(
+    not HAVE_EXT, reason="compiled core extension not built"
+)
+
+ALL_POLICIES = (
+    "frfs", "met", "eft", "heft", "random", "met_power",
+    "frfs_reserve", "eft_reserve",
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_selection():
+    """Each test starts from no explicit selection and a clear warn latch."""
+    core_select.reset_for_tests()
+    yield
+    core_select.reset_for_tests()
+
+
+# -- selection semantics ---------------------------------------------------------
+
+
+class TestSelection:
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(ReproError, match="unknown core"):
+            core_select.set_core("turbo")
+
+    def test_explicit_compiled_without_extension_errors(self, monkeypatch):
+        monkeypatch.setattr(_native, "available", lambda: False)
+        with pytest.raises(ReproError, match="not importable"):
+            core_select.set_core("compiled")
+
+    def test_env_compiled_without_extension_warns_once(self, monkeypatch):
+        monkeypatch.setattr(_native, "available", lambda: False)
+        monkeypatch.setenv(core_select.ENV_VAR, "compiled")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert core_select.selected_core() == core_select.CORE_PURE
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second resolve must be silent
+            assert core_select.selected_core() == core_select.CORE_PURE
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(core_select.ENV_VAR, "hyperspeed")
+        with pytest.raises(ReproError, match=core_select.ENV_VAR):
+            core_select.selected_core()
+
+    def test_env_pure_selected(self, monkeypatch):
+        monkeypatch.setenv(core_select.ENV_VAR, "pure")
+        assert core_select.selected_core() == core_select.CORE_PURE
+        assert core_select.native_kernels() is None
+
+    def test_auto_matches_availability(self, monkeypatch):
+        monkeypatch.delenv(core_select.ENV_VAR, raising=False)
+        expected = (
+            core_select.CORE_COMPILED if _native.available()
+            else core_select.CORE_PURE
+        )
+        assert core_select.selected_core() == expected
+
+    def test_set_core_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(core_select.ENV_VAR, "pure")
+        if HAVE_EXT:
+            assert core_select.set_core("compiled") == "compiled"
+        assert core_select.set_core("pure") == "pure"
+        core_select.set_core("auto")  # clears: env wins again
+        assert core_select.selected_core() == core_select.CORE_PURE
+
+    def test_forced_context_restores(self, monkeypatch):
+        monkeypatch.delenv(core_select.ENV_VAR, raising=False)
+        core_select.set_core("pure")
+        with core_select.forced(core_select.CORE_PURE):
+            assert core_select.selected_core() == core_select.CORE_PURE
+        assert core_select.selected_core() == core_select.CORE_PURE
+
+    def test_core_info_pure(self):
+        with core_select.forced(core_select.CORE_PURE):
+            info = core_select.core_info()
+        assert info == {"variant": "pure"}
+
+    @needs_ext
+    def test_core_info_compiled_carries_build_metadata(self):
+        with core_select.forced(core_select.CORE_COMPILED):
+            info = core_select.core_info()
+        assert info["variant"] == "compiled"
+        assert info["build"]["toolchain"]
+        assert info["build"]["python"]
+        assert info["build"]["api"] >= 1
+
+    @needs_ext
+    def test_make_engine_variants(self):
+        from repro.sim.compiled import CompiledEngine
+        from repro.sim.engine import Engine
+
+        with core_select.forced(core_select.CORE_PURE):
+            eng = core_select.make_engine()
+            assert type(eng) is Engine
+        with core_select.forced(core_select.CORE_COMPILED):
+            eng = core_select.make_engine()
+            assert isinstance(eng, CompiledEngine)
+
+
+# -- event heap parity -----------------------------------------------------------
+
+
+@needs_ext
+class TestEventHeapParity:
+    def test_random_ops_match_heapq(self):
+        ext = _native.load()
+        rng = random.Random(20260808)
+        heap = ext.EventHeap()
+        mirror: list[tuple[float, int, str]] = []
+        seq = 0
+        for _ in range(2000):
+            if mirror and rng.random() < 0.45:
+                assert heap.pop() == heapq.heappop(mirror)
+            else:
+                at = round(rng.uniform(0.0, 50.0), 1)  # force tie times too
+                ev = f"ev{seq}"
+                seq += 1  # the engine heap pre-increments: first push is 1
+                heap.push(at, ev)
+                heapq.heappush(mirror, (at, seq, ev))
+            assert len(heap) == len(mirror)
+            assert heap.peek_at() == (mirror[0][0] if mirror else None)
+            assert heap.seq == seq
+        while mirror:
+            assert heap.pop() == heapq.heappop(mirror)
+
+    def test_pop_empty_raises(self):
+        ext = _native.load()
+        with pytest.raises(IndexError):
+            ext.EventHeap().pop()
+
+
+# -- engine run-loop parity ------------------------------------------------------
+
+
+def _drive(engine):
+    """A small event program exercising ties, until-horizons, callbacks."""
+    log: list[tuple[float, str]] = []
+
+    def mark(tag):
+        return lambda: log.append((engine.now, tag))
+
+    engine.call_at(5.0, mark("a"))
+    engine.call_at(1.0, mark("b"))
+    engine.call_at(1.0, mark("c"))  # tie: insertion order must win
+
+    def chain():
+        log.append((engine.now, "d"))
+        engine.call_in(2.0, mark("e"))
+
+    engine.call_at(3.0, chain)
+    final = engine.run(until=5.0)
+    return log, final, engine.now, engine.events_fired
+
+
+@needs_ext
+class TestEngineParity:
+    def test_program_matches_pure_engine(self):
+        from repro.sim.compiled import CompiledEngine
+        from repro.sim.engine import Engine
+
+        assert _drive(Engine()) == _drive(CompiledEngine())
+
+    def test_max_events_error_matches(self):
+        from repro.sim.compiled import CompiledEngine
+        from repro.sim.engine import Engine
+
+        def livelock(engine):
+            def rearm():
+                engine.call_in(0.0, rearm)
+
+            engine.call_at(0.0, rearm)
+            with pytest.raises(EmulationError) as exc:
+                engine.run(max_events=25)
+            return str(exc.value), engine.events_fired
+
+        assert livelock(Engine()) == livelock(CompiledEngine())
+
+
+# -- whole-emulation equivalence -------------------------------------------------
+
+
+def _run_emulation(core: str, policy: str, *, seed: int = 11,
+                   faults: FaultSpec | None = None,
+                   qos: QoSSpec | None = None,
+                   workload=None, jitter: bool = True):
+    """One full virtual-backend emulation under a forced core variant."""
+    from repro.analysis.trace_export import records_as_dicts
+
+    with core_select.forced(core):
+        emu = Emulation(
+            platform=zcu102(),
+            config="3C+2F",
+            policy=policy,
+            jitter=jitter,
+            seed=seed,
+            faults=faults,
+            qos=QoSController(qos) if qos is not None else None,
+        )
+        if workload is None:
+            workload = validation_workload(
+                {"range_detection": 2, "wifi_tx": 2, "pulse_doppler": 1}
+            )
+        result = emu.run(workload, VirtualBackend())
+    stats = result.stats
+    return {
+        "summary": stats.summary(),
+        "records": records_as_dicts(stats),
+        "sched_invocations": stats.sched_invocations,
+    }
+
+
+@needs_ext
+class TestCrossCoreEquivalence:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_every_policy_bit_identical(self, policy):
+        pure = _run_emulation("pure", policy)
+        compiled = _run_emulation("compiled", policy)
+        assert pure == compiled
+
+    @pytest.mark.parametrize("policy", ["frfs", "eft", "random"])
+    def test_seed_sweep_bit_identical(self, policy):
+        for seed in (0, 7, 123):
+            assert _run_emulation("pure", policy, seed=seed) == \
+                _run_emulation("compiled", policy, seed=seed)
+
+    def test_fault_injection_bit_identical(self):
+        spec = FaultSpec(
+            pe_failures=(PEFailure("fft", 50.0),),
+            transient_prob=0.05,
+            max_retries=2,
+            backoff_us=5.0,
+            max_requeues=1,
+        )
+        for policy in ("frfs", "eft_reserve"):
+            assert _run_emulation("pure", policy, faults=spec) == \
+                _run_emulation("compiled", policy, faults=spec)
+
+    def test_qos_and_edf_bit_identical(self):
+        spec = QoSSpec(
+            deadlines=(("*", 2000.0), ("wifi_tx", 800.0)),
+            virtual_budget_us=5e5,
+        )
+        for policy in ("frfs", "frfs+edf", "eft+edf"):
+            assert _run_emulation("pure", policy, qos=spec) == \
+                _run_emulation("compiled", policy, qos=spec)
+
+    def test_performance_mode_bit_identical(self):
+        workload = table_ii_workload(2.28)
+        assert (
+            _run_emulation("pure", "met", workload=workload, jitter=False)
+            == _run_emulation("compiled", "met", workload=workload,
+                              jitter=False)
+        )
+
+
+# -- harness integration ---------------------------------------------------------
+
+
+@needs_ext
+class TestCompareCoresHarness:
+    def test_compare_cores_suite_quick(self):
+        from repro.perf import run_suite_compare_cores
+
+        pure_doc, compiled_doc = run_suite_compare_cores(
+            ["validation-burst"], quick=True
+        )
+        assert pure_doc["core"]["variant"] == "pure"
+        assert compiled_doc["core"]["variant"] == "compiled"
+        p = pure_doc["scenarios"]["validation-burst"]
+        c = compiled_doc["scenarios"]["validation-burst"]
+        assert (p["events"], p["tasks"], p["makespan_ms"]) == (
+            c["events"], c["tasks"], c["makespan_ms"]
+        )
+
+    def test_bench_report_records_core(self):
+        from repro.perf import run_suite
+
+        with core_select.forced(core_select.CORE_COMPILED):
+            doc = run_suite(["validation-burst"], quick=True)
+        assert doc["core"]["variant"] == "compiled"
+        assert doc["core"]["build"]["toolchain"]
