@@ -72,7 +72,18 @@ from repro.dse import (
     validation_sweep,
 )
 from repro.runtime.backends import ThreadedBackend, VirtualBackend
-from repro.runtime.workload import WorkloadSpec, workload_for_counts
+from repro.runtime.workload import (
+    ArrivalSpec,
+    ArrivalStream,
+    BurstyStream,
+    DiurnalStream,
+    PeriodicStream,
+    PoissonStream,
+    SpecStream,
+    TraceStream,
+    WorkloadSpec,
+    workload_for_counts,
+)
 from repro.toolchain import convert
 
 __version__ = "1.0.0"
@@ -120,6 +131,15 @@ __all__ = [
     "performance_workload",
     "workload_for_counts",
     "WorkloadSpec",
+    # open-loop arrival streams (serving workloads)
+    "ArrivalSpec",
+    "ArrivalStream",
+    "PoissonStream",
+    "PeriodicStream",
+    "DiurnalStream",
+    "BurstyStream",
+    "TraceStream",
+    "SpecStream",
     "VirtualBackend",
     "ThreadedBackend",
     # design-space exploration

@@ -182,6 +182,8 @@ class ApplicationInstance:
         for name in graph.topological_order():
             self.tasks[name] = TaskInstance(graph.nodes[name], self, next_id)
             next_id += 1
+        #: cached so task_count/is_complete survive release()
+        self._n_tasks = len(self.tasks)
         self.completed_count = 0
         self.inject_time: float = -1.0  # set by the workload manager
         self.finish_time: float = -1.0
@@ -202,11 +204,24 @@ class ApplicationInstance:
 
     @property
     def task_count(self) -> int:
-        return len(self.tasks)
+        return self._n_tasks
 
     @property
     def is_complete(self) -> bool:
-        return self.completed_count == len(self.tasks)
+        return self.completed_count == self._n_tasks
+
+    def release(self) -> None:
+        """Drop DAG/memory bookkeeping once this instance is settled.
+
+        Streaming (open-loop) runs call this after recording completion so
+        memory stays O(apps in flight) rather than O(apps injected).  The
+        scalar measurements (arrival/inject/finish times, degraded/dropped
+        flags, task_count) survive; ``tasks``, the emulated memory pool,
+        and the variable table do not.
+        """
+        self.tasks = {}
+        self.pool = None
+        self.variables = None
 
     def head_tasks(self) -> list[TaskInstance]:
         """Initially-ready tasks (no predecessors)."""
@@ -242,5 +257,5 @@ class ApplicationInstance:
         return (
             f"ApplicationInstance({self.app_name!r}#{self.instance_id}, "
             f"arrival={self.arrival_time:.1f}us, "
-            f"done={self.completed_count}/{len(self.tasks)})"
+            f"done={self.completed_count}/{self._n_tasks})"
         )

@@ -144,7 +144,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
         qos=controller,
     )
-    workload = validation_workload(_parse_apps(args.apps))
+    if args.arrivals:
+        from repro.runtime.workload import ArrivalSpec
+
+        if args.backend == "threaded":
+            print("--arrivals requires the virtual backend (open-loop "
+                  "streaming runs are timing-only)", file=sys.stderr)
+            return EXIT_USAGE
+        workload = ArrivalSpec.from_json_file(args.arrivals).build(
+            rate_scale=args.rate_scale,
+            duration_ms=args.duration_ms,
+            max_apps=args.max_apps,
+        )
+    else:
+        workload = validation_workload(_parse_apps(args.apps))
     backend = _backend(args.backend)
     if args.profile:
         # Profile the emulation phase only: workload construction and the
@@ -188,21 +201,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(result.stats.summary(), indent=2))
         if args.backend == "threaded":
             print("outputs correct:", result.verify_outputs())
-    if args.gantt and not args.json:
-        from repro.analysis.trace_export import gantt_ascii
+    if result.stats.streaming and (args.gantt or args.trace):
+        # Streaming stats keep no per-task records by design.
+        print("note: --gantt/--trace are unavailable for streaming "
+              "(--arrivals) runs; per-task records are not retained",
+              file=sys.stderr)
+    elif args.gantt or args.trace:
+        if args.gantt and not args.json:
+            from repro.analysis.trace_export import gantt_ascii
 
-        print()
-        print(gantt_ascii(result.stats))
-    if args.trace:
-        from repro.analysis.trace_export import write_csv, write_json
+            print()
+            print(gantt_ascii(result.stats))
+        if args.trace:
+            from repro.analysis.trace_export import write_csv, write_json
 
-        if args.trace.endswith(".json"):
-            write_json(result.stats, args.trace)
-        else:
-            write_csv(result.stats, args.trace)
-        # keep stdout machine-readable under --json
-        print(f"trace written to {args.trace}",
-              file=sys.stderr if args.json else sys.stdout)
+            if args.trace.endswith(".json"):
+                write_json(result.stats, args.trace)
+            else:
+                write_csv(result.stats, args.trace)
+            # keep stdout machine-readable under --json
+            print(f"trace written to {args.trace}",
+                  file=sys.stderr if args.json else sys.stdout)
     return _interrupt_exit_code(result.stats)
 
 
@@ -457,18 +476,18 @@ def cmd_perf(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf benchmark suite; write a BENCH_<timestamp>.json report."""
     from repro.perf import (
+        all_scenario_names,
         compare_reports,
         format_core_compare,
         format_report,
         load_report,
         run_suite,
         run_suite_compare_cores,
-        scenario_names,
         write_report,
     )
 
     if args.list:
-        for name in scenario_names():
+        for name in all_scenario_names():
             print(name)
         return 0
     _apply_core(args)
@@ -608,6 +627,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--config", default="3C+2F")
     run_p.add_argument("--policy", default="frfs")
     run_p.add_argument("--apps", default="range_detection=1")
+    run_p.add_argument("--arrivals", default="",
+                       help="arrival-spec JSON file: open-loop streaming "
+                            "injection instead of --apps "
+                            "(see docs/serving.md)")
+    run_p.add_argument("--rate-scale", type=float, default=1.0,
+                       help="with --arrivals: multiply the spec's offered "
+                            "load (trace replay: divide timestamps)")
+    run_p.add_argument("--duration-ms", type=float, default=None,
+                       help="with --arrivals: override the spec's arrival "
+                            "window")
+    run_p.add_argument("--max-apps", type=int, default=None,
+                       help="with --arrivals: override the spec's arrival "
+                            "cap")
     run_p.add_argument("--backend", default="virtual",
                        choices=["virtual", "threaded"])
     run_p.add_argument("--seed", type=int, default=None)

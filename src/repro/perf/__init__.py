@@ -25,9 +25,12 @@ from repro.perf.harness import (
     run_suite_compare_cores,
     write_report,
 )
+from repro.perf.rss import peak_rss_bytes, reset_peak_rss
 from repro.perf.scenarios import (
     BenchScenario,
     SCENARIOS,
+    SERVING_SCENARIOS,
+    all_scenario_names,
     get_scenario,
     scenario_names,
 )
@@ -35,11 +38,15 @@ from repro.perf.scenarios import (
 __all__ = [
     "BenchScenario",
     "SCENARIOS",
+    "SERVING_SCENARIOS",
+    "all_scenario_names",
     "compare_reports",
     "format_core_compare",
     "format_report",
     "get_scenario",
     "load_report",
+    "peak_rss_bytes",
+    "reset_peak_rss",
     "run_scenario",
     "run_suite",
     "run_suite_compare_cores",

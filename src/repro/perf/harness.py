@@ -1,10 +1,12 @@
 """Measurement harness: warmup + repetitions → ``BENCH_<timestamp>.json``.
 
-The report schema (``dssoc-bench/v1``) is documented in
-``docs/performance.md``.  Wall times are reported as the median across
+The report schema (``dssoc-bench/v2``) is documented in
+``docs/performance.md``; v1 reports (pre peak-RSS/app-count tracking)
+are still readable.  Wall times are reported as the median across
 repetitions (min and all samples are kept for inspection); events/sec
 and tasks/sec derive from the median so one noisy rep cannot flatter or
-slander a commit.
+slander a commit.  Peak RSS is the max across repetitions — it is a
+high-water mark, so the worst rep is the honest number.
 """
 
 from __future__ import annotations
@@ -22,13 +24,16 @@ from repro import core as core_select
 from repro.common.errors import ReproError
 from repro.perf.scenarios import SCENARIOS, get_scenario
 
-SCHEMA = "dssoc-bench/v1"
+SCHEMA = "dssoc-bench/v2"
+#: older report schemas load_report still accepts
+COMPAT_SCHEMAS = ("dssoc-bench/v1",)
 DEFAULT_OUT_DIR = "benchmarks/results"
 
 #: stats that must be bit-identical between the pure and compiled cores
-#: (wall times are the only thing allowed to differ)
+#: (wall times and memory are the only things allowed to differ)
 DETERMINISTIC_KEYS = (
     "events", "tasks", "apps_completed", "makespan_ms", "sched_invocations",
+    "apps_injected", "apps_dropped",
 )
 
 
@@ -64,8 +69,12 @@ def run_scenario(name: str, *, reps: int = 3, warmup: int = 1,
             "tasks": ref["tasks"],
             "tasks_per_sec": round(ref["tasks"] / wall_median, 1),
             "apps_completed": ref["apps"],
+            "apps_injected": ref["apps_injected"],
+            "apps_degraded": ref["apps_degraded"],
+            "apps_dropped": ref["apps_dropped"],
             "makespan_ms": ref["makespan_ms"],
             "sched_invocations": ref["sched_invocations"],
+            "peak_rss_bytes": max(s["peak_rss_bytes"] for s in samples),
         }
     )
     return entry
@@ -211,7 +220,8 @@ def write_report(doc: dict, out_dir: str | Path = DEFAULT_OUT_DIR,
 def load_report(path: str | Path) -> dict:
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema") != SCHEMA:
+    schema = doc.get("schema")
+    if schema != SCHEMA and schema not in COMPAT_SCHEMAS:
         raise ReproError(f"{path}: not a {SCHEMA} report")
     return doc
 
@@ -222,6 +232,7 @@ def format_report(doc: dict) -> str:
 
     rows = []
     for name, s in doc["scenarios"].items():
+        peak = s.get("peak_rss_bytes")  # absent in v1 reports
         rows.append(
             [
                 name,
@@ -232,6 +243,7 @@ def format_report(doc: dict) -> str:
                 f"{s['tasks_per_sec']:,.0f}",
                 s["tasks"],
                 f"{s['makespan_ms']:.2f}",
+                f"{peak / 1e6:,.0f}" if peak else "-",
             ]
         )
     title = f"dssoc bench — {doc['created']}"
@@ -239,7 +251,7 @@ def format_report(doc: dict) -> str:
         title += " (quick)"
     return format_table(
         ["scenario", "policy", "config", "wall s", "events/s", "tasks/s",
-         "tasks", "makespan ms"],
+         "tasks", "makespan ms", "peak MB"],
         rows,
         title=title,
     )

@@ -1,0 +1,73 @@
+"""Peak-RSS measurement for benchmark runs.
+
+Streaming-workload benchmarks track memory as a first-class number: the
+whole point of open-loop injection is that peak RSS stays flat as app
+counts grow.  On Linux the kernel keeps a per-process resident-set
+high-water mark (``VmHWM`` in ``/proc/self/status``) that can be *reset*
+by writing ``5`` to ``/proc/self/clear_refs`` — so each scenario rep can
+measure its own peak instead of inheriting the process-lifetime maximum.
+
+Where those files are unavailable (non-Linux, restricted procfs) the
+fallback is ``resource.getrusage``'s ``ru_maxrss``, which cannot be reset;
+``peak_rss_supported()`` reports which regime applies so callers can
+annotate their numbers.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+_CLEAR_REFS = "/proc/self/clear_refs"
+_STATUS = "/proc/self/status"
+
+
+def _vm_hwm_bytes() -> int | None:
+    """VmHWM from /proc/self/status in bytes, or None when unreadable."""
+    try:
+        with open(_STATUS, encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    # "VmHWM:     123456 kB"
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def peak_rss_supported() -> bool:
+    """True when the per-measurement reset path (clear_refs) works here."""
+    if _vm_hwm_bytes() is None:
+        return False
+    try:
+        with open(_CLEAR_REFS, "w") as fh:
+            fh.write("5")
+    except OSError:
+        return False
+    return True
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's RSS high-water mark; True if the reset took.
+
+    When it returns False the next :func:`peak_rss_bytes` reading is the
+    process-lifetime peak, not the peak since this call.
+    """
+    try:
+        with open(_CLEAR_REFS, "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def peak_rss_bytes() -> int:
+    """Current peak resident set size in bytes (0 if unmeasurable)."""
+    hwm = _vm_hwm_bytes()
+    if hwm is not None:
+        return hwm
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    if sys.platform == "darwin":  # pragma: no cover - platform dependent
+        return int(usage)
+    return int(usage) * 1024

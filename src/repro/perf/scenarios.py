@@ -13,6 +13,18 @@ Each scenario fixes one load shape the virtual backend must be fast at:
   the accelerator DMA/compute path and host-core contention (the Fig. 9
   preemption mechanism).
 
+The serving family (``SERVING_SCENARIOS``) exercises the streaming
+open-loop path — apps built lazily at injection, released at completion,
+streaming stats — so the tracked numbers include peak RSS:
+
+* ``serving-openloop`` — sustained Poisson arrivals of mixed SDR apps
+  near platform capacity.
+* ``serving-flashcrowd`` — a flash crowd over a steady baseline, with
+  QoS deadlines, bounded admission (drop-newest), and ``+edf``.
+* ``serving-openloop-100k`` / ``serving-openloop-1m`` — the memory
+  scaling pair: 10^5 vs 10^6 injected apps at the same offered load;
+  constant-memory injection means their peak RSS must be about equal.
+
 Scenarios are deterministic (fixed seed, fixed workload) so that two
 reports from the same commit agree and cross-commit deltas mean code,
 not luck.
@@ -21,7 +33,7 @@ not luck.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import ReproError
 
@@ -35,12 +47,18 @@ class BenchScenario:
     platform: str = "zcu102"
     config: str = "3C+2F"
     policy: str = "frfs"
-    #: "validation" (apps at t=0) or "table_ii" (performance mode)
+    #: "validation" (apps at t=0), "table_ii" (performance mode), or
+    #: "openloop" (streaming arrivals, lazy injection)
     mode: str = "validation"
     apps: tuple[tuple[str, int], ...] = ()
     quick_apps: tuple[tuple[str, int], ...] = ()
     rate: float = 0.0
     quick_rate: float = 0.0
+    #: openloop mode: ArrivalSpec dict forms (see runtime.workload)
+    arrivals: dict = field(default_factory=dict)
+    quick_arrivals: dict = field(default_factory=dict)
+    #: openloop mode: QoS spec dict (admission/deadlines), or empty
+    qos: dict = field(default_factory=dict)
     seed: int = 7
     jitter: bool = True
 
@@ -50,6 +68,15 @@ class BenchScenario:
 
             rate = self.quick_rate if quick and self.quick_rate else self.rate
             return table_ii_workload(rate)
+        if self.mode == "openloop":
+            from repro.runtime.workload import ArrivalSpec
+
+            arrivals = (
+                self.quick_arrivals
+                if quick and self.quick_arrivals
+                else self.arrivals
+            )
+            return ArrivalSpec.from_dict(arrivals).build()
         from repro.runtime.workload import validation_workload
 
         apps = self.quick_apps if quick and self.quick_apps else self.apps
@@ -67,6 +94,7 @@ class BenchScenario:
             materialize_memory=False,
             jitter=self.jitter,
             seed=self.seed,
+            qos=dict(self.qos) if self.qos else None,
         )
 
     def run_once(self, *, quick: bool = False) -> dict:
@@ -74,25 +102,35 @@ class BenchScenario:
 
         Workload construction and session setup (the paper's
         initialization phase) are excluded from the clock so the number
-        tracks the DES hot loop, not JSON parsing.
+        tracks the DES hot loop, not JSON parsing.  Peak RSS, in
+        contrast, covers workload construction too — materialized-list
+        memory is exactly what the streaming path exists to avoid, so it
+        must not be excluded from the measurement.
         """
+        from repro.perf.rss import peak_rss_bytes, reset_peak_rss
         from repro.runtime.backends.virtual import VirtualBackend
 
         emu = self.build_emulation()
+        reset_peak_rss()
         workload = self.workload(quick=quick)
         session = emu.build_session(workload)
         backend = VirtualBackend()
         t0 = time.perf_counter()
         stats = backend.run(session)
         wall_s = time.perf_counter() - t0
+        peak_rss = peak_rss_bytes()
         info = backend.last_run_info or {}
         return {
             "wall_s": wall_s,
             "events": info.get("events_fired", 0),
             "tasks": stats.task_count,
             "apps": stats.apps_completed,
+            "apps_injected": stats.apps_injected,
+            "apps_degraded": stats.apps_degraded,
+            "apps_dropped": stats.apps_dropped,
             "makespan_ms": round(stats.makespan / 1000.0, 4),
             "sched_invocations": stats.sched_invocations,
+            "peak_rss_bytes": peak_rss,
         }
 
     def spec(self, *, quick: bool = False) -> dict:
@@ -110,6 +148,14 @@ class BenchScenario:
             doc["rate"] = (
                 self.quick_rate if quick and self.quick_rate else self.rate
             )
+        elif self.mode == "openloop":
+            doc["arrivals"] = dict(
+                self.quick_arrivals
+                if quick and self.quick_arrivals
+                else self.arrivals
+            )
+            if self.qos:
+                doc["qos"] = dict(self.qos)
         else:
             apps = self.quick_apps if quick and self.quick_apps else self.apps
             doc["apps"] = dict(apps)
@@ -151,11 +197,71 @@ SCENARIOS: tuple[BenchScenario, ...] = (
     ),
 )
 
+_SDR_MIX = {"range_detection": 2.0, "wifi_tx": 1.0, "wifi_rx": 1.0}
+
+SERVING_SCENARIOS: tuple[BenchScenario, ...] = (
+    BenchScenario(
+        name="serving-openloop",
+        description="sustained Poisson open-loop near capacity, EFT",
+        policy="eft",
+        mode="openloop",
+        arrivals={"kind": "poisson", "rate_per_ms": 3.5, "apps": _SDR_MIX,
+                  "duration_ms": 1500.0, "seed": 42},
+        quick_arrivals={"kind": "poisson", "rate_per_ms": 1.5,
+                        "apps": _SDR_MIX, "duration_ms": 200.0, "seed": 42},
+    ),
+    BenchScenario(
+        name="serving-flashcrowd",
+        description="flash crowd over steady baseline; QoS admission + EDF",
+        policy="eft+edf",
+        mode="openloop",
+        arrivals={"kind": "bursty", "rate_per_ms": 1.0, "apps": _SDR_MIX,
+                  "bursts": [[400.0, 150.0, 10.0], [900.0, 100.0, 8.0]],
+                  "duration_ms": 1500.0, "seed": 17},
+        quick_arrivals={"kind": "bursty", "rate_per_ms": 0.5,
+                        "apps": _SDR_MIX,
+                        "bursts": [[50.0, 50.0, 8.0]],
+                        "duration_ms": 250.0, "seed": 17},
+        qos={"deadlines": {"*": 2000.0},
+             "admission": {"max_pending": 64, "policy": "drop-newest"}},
+    ),
+    BenchScenario(
+        name="serving-openloop-100k",
+        description="10^5 apps at 4/ms (memory-scaling pair, small half)",
+        policy="frfs",
+        mode="openloop",
+        arrivals={"kind": "poisson", "rate_per_ms": 4.0,
+                  "apps": {"range_detection": 1.0},
+                  "max_apps": 100_000, "seed": 42},
+        quick_arrivals={"kind": "poisson", "rate_per_ms": 4.0,
+                        "apps": {"range_detection": 1.0},
+                        "max_apps": 2_000, "seed": 42},
+    ),
+    BenchScenario(
+        name="serving-openloop-1m",
+        description="10^6 apps at 4/ms (memory-scaling pair, large half)",
+        policy="frfs",
+        mode="openloop",
+        arrivals={"kind": "poisson", "rate_per_ms": 4.0,
+                  "apps": {"range_detection": 1.0},
+                  "max_apps": 1_000_000, "seed": 42},
+        quick_arrivals={"kind": "poisson", "rate_per_ms": 4.0,
+                        "apps": {"range_detection": 1.0},
+                        "max_apps": 10_000, "seed": 42},
+    ),
+)
+
 _BY_NAME = {s.name: s for s in SCENARIOS}
+_BY_NAME.update({s.name: s for s in SERVING_SCENARIOS})
 
 
 def scenario_names() -> list[str]:
+    """The default suite (serving scenarios are opt-in by name)."""
     return [s.name for s in SCENARIOS]
+
+
+def all_scenario_names() -> list[str]:
+    return list(_BY_NAME)
 
 
 def get_scenario(name: str) -> BenchScenario:
@@ -163,5 +269,6 @@ def get_scenario(name: str) -> BenchScenario:
         return _BY_NAME[name]
     except KeyError:
         raise ReproError(
-            f"unknown bench scenario {name!r} (available: {scenario_names()})"
+            f"unknown bench scenario {name!r} "
+            f"(available: {all_scenario_names()})"
         ) from None

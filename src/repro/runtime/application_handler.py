@@ -104,6 +104,41 @@ class ApplicationHandler:
 
     # -- instantiation ---------------------------------------------------------------
 
+    def instantiate_one(
+        self,
+        app_name: str,
+        arrival_time: float,
+        *,
+        materialize_memory: bool = True,
+    ) -> ApplicationInstance:
+        """Create one instance of ``app_name`` arriving at ``arrival_time``.
+
+        Allocates the next app/task ids (the global task-id space stays
+        dense across instances) and, when memory is materialized, runs the
+        archetype's setup kernel against the fresh variable table.
+        """
+        resolved = self.resolved(app_name)
+        instance = ApplicationInstance(
+            resolved.graph,
+            instance_id=self._app_ids.allocate(),
+            arrival_time=arrival_time,
+            task_id_base=self._task_ids.peek(),
+            materialize=materialize_memory,
+        )
+        for _ in range(instance.task_count):
+            self._task_ids.allocate()
+        if materialize_memory and resolved.setup_kernel is not None:
+            resolved.setup_kernel(
+                KernelContext(
+                    instance.variables,
+                    arg_names=(),
+                    platform="cpu",
+                    node_name="<setup>",
+                    app_name=instance.app_name,
+                )
+            )
+        return instance
+
     def instantiate(
         self,
         workload: WorkloadSpec,
@@ -117,28 +152,77 @@ class ApplicationHandler:
         model time instead of executing kernels) and exists so very large
         performance-mode sweeps do not pay for functionally-unused memory.
         """
-        instances: list[ApplicationInstance] = []
-        for item in workload.items:
-            resolved = self.resolved(item.app_name)
-            instance = ApplicationInstance(
-                resolved.graph,
-                instance_id=self._app_ids.allocate(),
-                arrival_time=item.arrival_time,
-                task_id_base=self._task_ids.peek(),
-                materialize=materialize_memory,
+        return [
+            self.instantiate_one(
+                item.app_name,
+                item.arrival_time,
+                materialize_memory=materialize_memory,
             )
-            # keep the global task-id space dense across instances
-            for _ in range(instance.task_count):
-                self._task_ids.allocate()
-            if materialize_memory and resolved.setup_kernel is not None:
-                resolved.setup_kernel(
-                    KernelContext(
-                        instance.variables,
-                        arg_names=(),
-                        platform="cpu",
-                        node_name="<setup>",
-                        app_name=instance.app_name,
-                    )
-                )
-            instances.append(instance)
-        return instances
+            for item in workload.items
+        ]
+
+
+class LazyInstanceSource:
+    """Instance source that builds applications at injection time.
+
+    Wraps an :class:`~repro.runtime.workload.ArrivalStream`: a single
+    ``(arrival_time, app_name)`` pair of lookahead is held so the workload
+    manager can peek the next arrival, and the :class:`ApplicationInstance`
+    (DAG bookkeeping, ids, optional emulated memory) is only built when the
+    WM pops it for injection.  Memory therefore scales with apps *in
+    flight*, not apps *injected* — the streaming half of the open-loop
+    path (release-on-completion is the other half).
+    """
+
+    __slots__ = (
+        "handler",
+        "materialize",
+        "qos",
+        "total",
+        "produced",
+        "exhausted",
+        "_iter",
+        "_pending",
+    )
+
+    def __init__(
+        self,
+        handler: ApplicationHandler,
+        stream,
+        *,
+        materialize_memory: bool = True,
+        qos=None,
+    ) -> None:
+        self.handler = handler
+        self.materialize = materialize_memory
+        self.qos = qos
+        #: None for unbounded/duration-bounded streams
+        self.total: int | None = stream.total
+        self.produced = 0
+        self.exhausted = False
+        self._iter = iter(stream)
+        self._pending: tuple[float, str] | None = None
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            self._pending = next(self._iter)
+        except StopIteration:
+            self._pending = None
+            self.exhausted = True
+
+    def peek_time(self) -> float | None:
+        return None if self._pending is None else self._pending[0]
+
+    def pop(self) -> ApplicationInstance:
+        if self._pending is None:
+            raise ApplicationSpecError("pop() on an exhausted arrival stream")
+        arrival_time, app_name = self._pending
+        instance = self.handler.instantiate_one(
+            app_name, arrival_time, materialize_memory=self.materialize
+        )
+        if self.qos is not None:
+            self.qos.assign_deadline(instance)
+        self.produced += 1
+        self._advance()
+        return instance

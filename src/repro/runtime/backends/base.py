@@ -99,6 +99,9 @@ class EmulationSession:
     faults: FaultInjector | None = None
     #: QoS controller, or None for a guardrail-free run (see runtime.qos)
     qos: QoSController | None = None
+    #: instance source for the workload manager; None (materialized runs
+    #: built before the source abstraction existed) means "wrap instances"
+    source: object | None = None
 
     @property
     def n_pes(self) -> int:

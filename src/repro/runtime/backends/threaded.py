@@ -107,6 +107,16 @@ class ThreadedBackend(ExecutionBackend):
                     "threaded backend requires materialized instances "
                     "(instantiate with materialize_memory=True)"
                 )
+        if session.source is not None and not hasattr(
+            session.source, "instances"
+        ):
+            # Open-loop streams pace arrivals in virtual time and release
+            # instances on completion — neither fits the real-time threaded
+            # execution model.
+            raise EmulationError(
+                "threaded backend cannot run open-loop arrival streams; "
+                "use the virtual backend for --arrivals runs"
+            )
         devices: dict[int, FFTAcceleratorDevice] = {}
         for pe in session.plan.pes:
             if pe.is_accelerator:
@@ -117,7 +127,7 @@ class ThreadedBackend(ExecutionBackend):
             session.scheduler.oracle = PerfModelOracle(session.perf_model, devices)
 
         core = WorkloadManagerCore(
-            session.instances,
+            session.source if session.source is not None else session.instances,
             session.handlers,
             session.scheduler,
             session.stats,

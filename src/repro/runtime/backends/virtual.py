@@ -130,7 +130,7 @@ class VirtualBackend(ExecutionBackend):
 
         injector = session.faults
         core = WorkloadManagerCore(
-            session.instances,
+            session.source if session.source is not None else session.instances,
             session.handlers,
             session.scheduler,
             session.stats,

@@ -27,7 +27,7 @@ from repro.common.rng import SeedSequenceFactory
 from repro.hardware.config import AffinityPlan, DSSoCConfig, parse_config
 from repro.hardware.perfmodel import PerformanceModel, SchedulerCostModel
 from repro.hardware.platform import SoCPlatform, zcu102
-from repro.runtime.application_handler import ApplicationHandler
+from repro.runtime.application_handler import ApplicationHandler, LazyInstanceSource
 from repro.runtime.backends.base import EmulationSession, ExecutionBackend
 from repro.runtime.backends.virtual import VirtualBackend
 from repro.runtime.faults import FaultSpec, make_injector
@@ -35,7 +35,7 @@ from repro.runtime.handler import ResourceHandler
 from repro.runtime.qos import QoSController, QoSSpec, make_qos
 from repro.runtime.schedulers import Scheduler, make_scheduler
 from repro.runtime.stats import EmulationStats
-from repro.runtime.workload import WorkloadSpec
+from repro.runtime.workload import ArrivalStream, WorkloadSpec
 
 
 @dataclass
@@ -44,7 +44,7 @@ class EmulationResult:
 
     stats: EmulationStats
     instances: list[ApplicationInstance]
-    workload: WorkloadSpec
+    workload: WorkloadSpec | ArrivalStream
     config_label: str
     policy: str
 
@@ -122,9 +122,15 @@ class Emulation:
     # -- the initialization phase + emulation ---------------------------------------------
 
     def build_session(
-        self, workload: WorkloadSpec, *, run_index: int = 0
+        self, workload: WorkloadSpec | ArrivalStream, *, run_index: int = 0
     ) -> EmulationSession:
-        """Everything up to (but excluding) backend execution."""
+        """Everything up to (but excluding) backend execution.
+
+        A :class:`WorkloadSpec` is materialized up front (the paper's
+        closed-loop path, bit-identical to the historical behavior); an
+        :class:`ArrivalStream` builds instances lazily at injection and
+        switches stats into streaming mode so memory stays O(in flight).
+        """
         plan = AffinityPlan.build(self.platform, self.config)
         handlers = [ResourceHandler(pe) for pe in plan.pes]
 
@@ -135,16 +141,19 @@ class Emulation:
             accepted.update(handler.accepted_platforms)
         app_handler.check_platform_coverage(accepted)
 
-        instances = app_handler.instantiate(
-            workload, materialize_memory=self.materialize_memory
-        )
+        streaming = isinstance(workload, ArrivalStream)
+        instances: list[ApplicationInstance] = []
+        if not streaming:
+            instances = app_handler.instantiate(
+                workload, materialize_memory=self.materialize_memory
+            )
 
         scheduler = (
             make_scheduler(self.policy)
             if isinstance(self.policy, str)
             else self.policy
         )
-        stats = EmulationStats(label=workload.description)
+        stats = EmulationStats(label=workload.description, streaming=streaming)
         stats.policy_name = scheduler.name
         stats.config_label = self.config.describe()
         for pe in plan.pes:
@@ -161,6 +170,15 @@ class Emulation:
             # signal handling; it must not grow the stats summary.
             stats.qos_enabled = not qos.spec.is_empty
             qos.assign_deadlines(instances)
+        source = None
+        if streaming:
+            # Built after QoS so deadlines are stamped at pop time.
+            source = LazyInstanceSource(
+                app_handler,
+                workload,
+                materialize_memory=self.materialize_memory,
+                qos=qos,
+            )
         return EmulationSession(
             platform=self.platform,
             plan=plan,
@@ -176,11 +194,12 @@ class Emulation:
             validate_assignments=self.validate_assignments,
             faults=injector,
             qos=qos,
+            source=source,
         )
 
     def run(
         self,
-        workload: WorkloadSpec,
+        workload: WorkloadSpec | ArrivalStream,
         backend: ExecutionBackend | None = None,
         *,
         run_index: int = 0,

@@ -313,14 +313,24 @@ class QoSController:
             return None
         return self.spec.heartbeat_timeout_s * 1e6
 
+    def assign_deadline(self, instance) -> None:
+        """Stamp one instance's absolute deadline (arrival + relative).
+
+        Streaming runs call this per instance at injection; materialized
+        runs batch it via :meth:`assign_deadlines` at session build.
+        """
+        if not self.spec.deadlines:
+            return
+        rel = self.spec.deadline_for(instance.app_name)
+        if rel is not None:
+            instance.deadline = instance.arrival_time + rel
+
     def assign_deadlines(self, instances) -> None:
         """Stamp each instance's absolute deadline (arrival + relative)."""
         if not self.spec.deadlines:
             return
         for instance in instances:
-            rel = self.spec.deadline_for(instance.app_name)
-            if rel is not None:
-                instance.deadline = instance.arrival_time + rel
+            self.assign_deadline(instance)
 
 
 def make_qos(qos: "QoSController | QoSSpec | dict | None") -> QoSController | None:

@@ -21,6 +21,116 @@ from repro.hardware.pe import ProcessingElement
 
 _log = get_logger("runtime.stats")
 
+#: streaming mode keeps at most this many fault-timeline entries; overload
+#: runs shedding millions of apps must not grow the timeline unboundedly
+_TIMELINE_CAP = 1024
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² streaming quantile estimator (O(1) memory).
+
+    Maintains five markers whose heights track the p-quantile without
+    retaining samples; marker heights are adjusted with a piecewise
+    parabolic fit as observations stream in.  Exact for the first five
+    samples, asymptotically accurate afterwards.
+    """
+
+    __slots__ = ("p", "_q", "_n", "_np", "_dn", "count")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise EmulationError(f"quantile p must be in (0, 1), got {p}")
+        self.p = p
+        self._q: list[float] = []  # marker heights (first 5: raw samples)
+        self._n = [0.0, 1.0, 2.0, 3.0, 4.0]  # marker positions
+        self._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]  # desired
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        q = self._q
+        if len(q) < 5:
+            # initialization phase: collect and keep sorted
+            lo, hi = 0, len(q)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if q[mid] < x:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            q.insert(lo, x)
+            return
+        n, np_, dn = self._n, self._np, self._dn
+        # locate the cell containing x, clamping the extreme markers
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            np_[i] += dn[i]
+        # adjust the three interior markers toward their desired positions
+        for i in (1, 2, 3):
+            d = np_[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if d >= 0 else -1.0
+                qi = self._parabolic(i, d)
+                if not q[i - 1] < qi < q[i + 1]:
+                    # parabolic estimate left the bracket: linear fallback
+                    j = i + int(d)
+                    qi = q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+                q[i] = qi
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def value(self) -> float:
+        """Current quantile estimate (exact while fewer than 5 samples)."""
+        q = self._q
+        if not q:
+            raise EmulationError("quantile of an empty stream")
+        if len(q) < 5:
+            # linear interpolation over the sorted prefix (numpy's default)
+            pos = self.p * (len(q) - 1)
+            lo = int(pos)
+            frac = pos - lo
+            if lo + 1 >= len(q):
+                return q[-1]
+            return q[lo] + frac * (q[lo + 1] - q[lo])
+        return self._q[2]
+
+
+class _MeanAgg:
+    """Constant-size (count, sum) aggregate for a stream of floats."""
+
+    __slots__ = ("count", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
 
 @dataclass(frozen=True)
 class TaskRecord:
@@ -87,11 +197,31 @@ class PEUsage:
 
 
 class EmulationStats:
-    """Accumulator shared by both backends."""
+    """Accumulator shared by both backends.
 
-    def __init__(self, label: str = "") -> None:
+    ``streaming=True`` switches every per-sample list to a constant-size
+    incremental aggregate (running sums plus P² quantile estimators), so
+    memory stays O(1) however many applications stream through — the
+    contract behind million-app open-loop runs.  The default (materialized)
+    mode is byte-identical to what it always was: exact percentiles, full
+    task records, per-app sample lists.
+    """
+
+    def __init__(self, label: str = "", *, streaming: bool = False) -> None:
         self.label = label
+        #: constant-memory mode: aggregates only, no per-task/per-app lists
+        self.streaming = streaming
         self.task_records: list[TaskRecord] = []
+        # -- streaming-mode aggregates (unused otherwise) -------------------
+        self._tasks_recorded = 0
+        self._ready_len_agg = _MeanAgg()
+        self._resp_agg: dict[str, _MeanAgg] = {}
+        self._slack_agg: dict[str, _MeanAgg] = {}
+        self._resp_tail = {
+            50: P2Quantile(0.50), 95: P2Quantile(0.95), 99: P2Quantile(0.99),
+        }
+        #: timeline entries discarded once the streaming cap was hit
+        self.fault_timeline_truncated = 0
         self.pe_usage: dict[str, PEUsage] = {}
         self.sched_overhead_total: float = 0.0
         self.sched_invocations: int = 0
@@ -150,6 +280,13 @@ class EmulationStats:
         )
 
     def record_task(self, task, pe: ProcessingElement) -> None:
+        if self.streaming:
+            self._tasks_recorded += 1
+            usage = self.pe_usage[pe.name]
+            usage.busy_time += task.finish_time - task.start_time
+            usage.tasks_executed += 1
+            self.emulation_end = max(self.emulation_end, task.finish_time)
+            return
         rec = TaskRecord(
             app_name=task.app_name,
             instance_id=task.app.instance_id,
@@ -171,6 +308,9 @@ class EmulationStats:
     def record_scheduling_pass(self, overhead: float, ready_len: int) -> None:
         self.sched_overhead_total += overhead
         self.sched_invocations += 1
+        if self.streaming:
+            self._ready_len_agg.add(float(ready_len))
+            return
         self.sched_overhead_samples.append(overhead)
         self.ready_len_samples.append(ready_len)
 
@@ -179,23 +319,45 @@ class EmulationStats:
 
     def record_app_completion(self, instance) -> None:
         self.apps_completed += 1
-        self.app_response_times.setdefault(instance.app_name, []).append(
-            instance.response_time()
-        )
+        response = instance.response_time()
+        if self.streaming:
+            agg = self._resp_agg.get(instance.app_name)
+            if agg is None:
+                agg = self._resp_agg[instance.app_name] = _MeanAgg()
+            agg.add(response)
+            for est in self._resp_tail.values():
+                est.add(response)
+        else:
+            self.app_response_times.setdefault(instance.app_name, []).append(
+                response
+            )
         self.emulation_end = max(self.emulation_end, instance.finish_time)
         if instance.deadline is not None:
             slack = instance.deadline - instance.finish_time
-            self.app_slack.setdefault(instance.app_name, []).append(slack)
+            if self.streaming:
+                agg = self._slack_agg.get(instance.app_name)
+                if agg is None:
+                    agg = self._slack_agg[instance.app_name] = _MeanAgg()
+                agg.add(slack)
+            else:
+                self.app_slack.setdefault(instance.app_name, []).append(slack)
             if slack >= 0:
                 self.apps_on_time += 1
             else:
                 self.apps_late += 1
 
+    def _timeline_append(self, entry: dict) -> None:
+        """Append under the streaming cap (call with the fault lock held)."""
+        if self.streaming and len(self.fault_timeline) >= _TIMELINE_CAP:
+            self.fault_timeline_truncated += 1
+            return
+        self.fault_timeline.append(entry)
+
     def record_app_drop(self, instance, now: float, reason: str) -> None:
         """Application shed by admission control before completing."""
         with self._fault_lock:
             self.apps_dropped += 1
-            self.fault_timeline.append(
+            self._timeline_append(
                 {
                     "t_us": round(now, 3),
                     "kind": "app_dropped",
@@ -210,7 +372,7 @@ class EmulationStats:
             if not self.interrupted:
                 self.interrupted = True
                 self.interrupt_reason = reason
-                self.fault_timeline.append(
+                self._timeline_append(
                     {"t_us": round(now, 3), "kind": "interrupted",
                      "reason": reason}
                 )
@@ -224,7 +386,7 @@ class EmulationStats:
             self.pe_failures += 1
             if kind == "watchdog_failstop":
                 self.watchdog_failstops += 1
-            self.fault_timeline.append(
+            self._timeline_append(
                 {"t_us": round(now, 3), "kind": kind, "pe": pe_name}
             )
 
@@ -235,7 +397,7 @@ class EmulationStats:
         with self._fault_lock:
             self.transient_faults += 1
             self.task_retries += 1
-            self.fault_timeline.append(
+            self._timeline_append(
                 {
                     "t_us": round(now, 3),
                     "kind": kind,
@@ -249,7 +411,7 @@ class EmulationStats:
         """Task handed back to the WM (PE failure orphan or retry exhaustion)."""
         with self._fault_lock:
             self.tasks_requeued += 1
-            self.fault_timeline.append(
+            self._timeline_append(
                 {
                     "t_us": round(now, 3),
                     "kind": kind,
@@ -261,7 +423,7 @@ class EmulationStats:
     def record_app_degradation(self, instance, now: float) -> None:
         with self._fault_lock:
             self.apps_degraded += 1
-            self.fault_timeline.append(
+            self._timeline_append(
                 {
                     "t_us": round(now, 3),
                     "kind": "app_degraded",
@@ -278,6 +440,8 @@ class EmulationStats:
 
     @property
     def task_count(self) -> int:
+        if self.streaming:
+            return self._tasks_recorded
         return len(self.task_records)
 
     def avg_scheduling_overhead(self) -> float:
@@ -287,6 +451,8 @@ class EmulationStats:
         return self.sched_overhead_total / self.sched_invocations
 
     def mean_ready_length(self) -> float:
+        if self.streaming:
+            return self._ready_len_agg.mean()
         if not self.ready_len_samples:
             return 0.0
         return float(np.mean(self.ready_len_samples))
@@ -306,6 +472,11 @@ class EmulationStats:
         }
 
     def mean_response_time(self, app_name: str) -> float:
+        if self.streaming:
+            agg = self._resp_agg.get(app_name)
+            if agg is None or not agg.count:
+                raise EmulationError(f"no completed instances of {app_name!r}")
+            return agg.mean()
         times = self.app_response_times.get(app_name)
         if not times:
             raise EmulationError(f"no completed instances of {app_name!r}")
@@ -321,7 +492,19 @@ class EmulationStats:
             )
 
     def response_percentiles(self) -> dict[str, float]:
-        """p50/p95/p99 response time over all completed apps, in ms."""
+        """p50/p95/p99 response time over all completed apps, in ms.
+
+        Materialized runs compute exact percentiles over the retained
+        samples; streaming runs report the P² estimates (asymptotically
+        exact, O(1) memory).
+        """
+        if self.streaming:
+            if not self._resp_tail[50].count:
+                return {}
+            return {
+                f"p{p}_ms": round(to_msec(est.value()), 4)
+                for p, est in self._resp_tail.items()
+            }
         samples = [t for ts in self.app_response_times.values() for t in ts]
         if not samples:
             return {}
@@ -334,6 +517,12 @@ class EmulationStats:
 
     def mean_response_times(self) -> dict[str, float]:
         """Mean response time per application in ms (empty apps omitted)."""
+        if self.streaming:
+            return {
+                app: agg.mean() / 1000.0
+                for app, agg in sorted(self._resp_agg.items())
+                if agg.count
+            }
         return {
             app: float(np.mean(times)) / 1000.0
             for app, times in sorted(self.app_response_times.items())
@@ -364,6 +553,11 @@ class EmulationStats:
                 k: round(v, 4) for k, v in self.mean_response_times().items()
             },
         }
+        if self.streaming:
+            # Open-loop runs: tail latency is the headline number, so it is
+            # reported unconditionally (estimated, see response_percentiles).
+            report["streaming"] = True
+            report["response_percentiles"] = self.response_percentiles()
         if self.faults_enabled or self.fault_timeline or self.apps_degraded:
             report["faults"] = {
                 "pe_failures": self.pe_failures,
@@ -372,20 +566,32 @@ class EmulationStats:
                 "tasks_requeued": self.tasks_requeued,
                 "timeline": list(self.fault_timeline),
             }
+            if self.fault_timeline_truncated:
+                report["faults"]["timeline_truncated"] = (
+                    self.fault_timeline_truncated
+                )
         # Conditional like "faults": runs without a QoS controller (and
         # without drops/fail-stops) keep today's byte-identical summaries.
         if self.qos_enabled or self.apps_dropped or self.watchdog_failstops:
+            if self.streaming:
+                mean_slack = {
+                    app: round(agg.mean(), 3)
+                    for app, agg in sorted(self._slack_agg.items())
+                    if agg.count
+                }
+            else:
+                mean_slack = {
+                    app: round(float(np.mean(vals)), 3)
+                    for app, vals in sorted(self.app_slack.items())
+                    if vals
+                }
             report["qos"] = {
                 "apps_dropped": self.apps_dropped,
                 "apps_on_time": self.apps_on_time,
                 "apps_late": self.apps_late,
                 "watchdog_failstops": self.watchdog_failstops,
                 "response_percentiles": self.response_percentiles(),
-                "mean_slack_us": {
-                    app: round(float(np.mean(vals)), 3)
-                    for app, vals in sorted(self.app_slack.items())
-                    if vals
-                },
+                "mean_slack_us": mean_slack,
             }
         if self.interrupted:
             report["interrupted"] = True

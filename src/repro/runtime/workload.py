@@ -1,4 +1,4 @@
-"""Workload creation: validation mode and performance mode (Sec. II-B).
+"""Workload creation: validation mode, performance mode, arrival streams.
 
 * **Validation mode** — every requested instance arrives at t=0 and the
   emulation finishes once all applications complete.
@@ -6,15 +6,26 @@
   time-frame (the paper uses 100 ms) with a per-application period and
   injection probability; varying the periods sets the average injection
   rate (Table II).
+* **Arrival streams** — open-loop generator sources for serving-scale
+  workloads: instead of materializing every arrival up front (fine for the
+  paper's 100 ms windows, fatal at millions of instances), an
+  :class:`ArrivalStream` yields ``(arrival_time_us, app_name)`` pairs
+  lazily, in non-decreasing time order, with a bounded lookahead window.
+  All sources are seeded and deterministic; :class:`SpecStream` re-expresses
+  a finite :class:`WorkloadSpec` as a stream so both paths share one
+  injection machinery.
 """
 
 from __future__ import annotations
 
+import json
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import ApplicationSpecError
+from repro.common.errors import ApplicationSpecError, EmulationError
 from repro.common.rng import SeedSequenceFactory
 from repro.common.units import MS
 
@@ -57,9 +68,25 @@ class WorkloadSpec:
 
     def injection_rate_per_ms(self) -> float:
         """Average injection rate in jobs per millisecond (performance mode)."""
-        if self.time_frame <= 0:
-            return 0.0
-        return self.size / (self.time_frame / MS)
+        span = self.time_frame
+        if span <= 0:
+            if self.mode == "validation":
+                # Validation mode has no time frame by construction; 0.0 is
+                # the documented "not applicable" answer.
+                return 0.0
+            # No explicit window: fall back to the observed arrival span so
+            # replayed traces still report a rate — and fail clearly when
+            # the rate is genuinely undefined (single arrival / zero span)
+            # instead of dividing by zero.
+            if self.size >= 2:
+                span = self.items[-1].arrival_time - self.items[0].arrival_time
+            if span <= 0:
+                raise EmulationError(
+                    f"injection rate undefined for {self.mode!r} workload "
+                    f"({self.size} arrival(s) over a zero time span); set "
+                    "time_frame or provide at least two distinct arrivals"
+                )
+        return self.size / (span / MS)
 
 
 def validation_workload(app_counts: dict[str, int]) -> WorkloadSpec:
@@ -178,3 +205,725 @@ def workload_for_counts(
             f"count inversion failed: wanted {expected}, got {actual}"
         )
     return spec
+
+
+# ---------------------------------------------------------------------------
+# Open-loop arrival streams
+# ---------------------------------------------------------------------------
+
+#: draws per RNG batch: the stream's only lookahead buffer, so memory stays
+#: O(chunk) however long the stream runs
+_CHUNK = 256
+
+
+def validate_arrivals(iterable, what: str = "arrival stream"):
+    """Wrap an arrival iterator, enforcing the stream contract lazily.
+
+    Every yielded item must be a ``(time_us, app_name)`` pair with a finite,
+    non-negative time no earlier than its predecessor.  Violations raise
+    :class:`EmulationError` naming the offending index, so a bad trace file
+    or source fails fast at the first out-of-order arrival instead of
+    corrupting the emulation's event ordering.
+    """
+    last = 0.0
+    for i, item in enumerate(iterable):
+        try:
+            t, app_name = item
+        except (TypeError, ValueError):
+            raise EmulationError(
+                f"{what}: arrival #{i} is not a (time, app_name) pair: "
+                f"{item!r}"
+            ) from None
+        t = float(t)
+        if not math.isfinite(t) or t < 0:
+            raise EmulationError(
+                f"{what}: arrival #{i} has invalid time {t!r} "
+                "(must be finite and >= 0)"
+            )
+        if t < last:
+            raise EmulationError(
+                f"{what}: arrival #{i} at t={t:.3f}us precedes arrival "
+                f"#{i - 1} at t={last:.3f}us — arrival times must be "
+                "non-decreasing"
+            )
+        last = t
+        yield t, str(app_name)
+
+
+def _normalize_mix(apps: dict[str, float], what: str):
+    """Validate an app-weight mix; return (names, cumulative_weights)."""
+    if not apps:
+        raise EmulationError(f"{what}: app mix is empty")
+    names: list[str] = []
+    weights: list[float] = []
+    for name in sorted(apps):
+        w = float(apps[name])
+        if not math.isfinite(w) or w <= 0:
+            raise EmulationError(
+                f"{what}: weight for {name!r} must be positive and finite, "
+                f"got {w}"
+            )
+        names.append(name)
+        weights.append(w)
+    total = sum(weights)
+    cum: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cum.append(acc)
+    cum[-1] = 1.0  # absorb float drift so every draw lands in range
+    return tuple(names), cum
+
+
+def _positive_rate(value: float, what: str) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise EmulationError(f"{what} must be positive and finite, got {value}")
+    return value
+
+
+class ArrivalStream:
+    """Base class for open-loop arrival sources.
+
+    Subclasses implement :meth:`arrivals`, a generator of
+    ``(arrival_time_us, app_name)`` pairs; iteration always goes through the
+    monotonicity guard, so any misbehaving source fails fast with the
+    offending index.  ``total`` is the known arrival count for bounded
+    streams (None when only a duration bounds the stream), and ``mode`` is
+    what stats/report labels use.
+    """
+
+    mode = "openloop"
+    description = ""
+
+    @property
+    def total(self) -> int | None:
+        return None
+
+    def arrivals(self):
+        raise NotImplementedError
+
+    def __iter__(self):
+        return validate_arrivals(
+            self.arrivals(), what=self.description or type(self).__name__
+        )
+
+
+class SpecStream(ArrivalStream):
+    """Finite adapter: replays a :class:`WorkloadSpec` as an arrival stream.
+
+    This is how the classic materialized path and the streaming path share
+    one injection machinery — the spec's sorted items already satisfy the
+    stream contract.
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.mode = spec.mode
+        self.description = spec.description
+
+    @property
+    def total(self) -> int | None:
+        return self.spec.size
+
+    def arrivals(self):
+        for item in self.spec.items:
+            yield item.arrival_time, item.app_name
+
+
+class _BoundedStream(ArrivalStream):
+    """Shared bounds handling: stop after ``duration_us`` or ``max_apps``."""
+
+    def __init__(
+        self,
+        *,
+        duration_us: float | None,
+        max_apps: int | None,
+        what: str,
+    ) -> None:
+        if duration_us is None and max_apps is None:
+            raise EmulationError(
+                f"{what}: unbounded stream — set a duration and/or a "
+                "max_apps cap so the emulation can terminate"
+            )
+        if duration_us is not None:
+            self.duration_us: float | None = _positive_rate(
+                duration_us, f"{what}: duration"
+            )
+        else:
+            self.duration_us = None
+        if max_apps is not None and max_apps < 1:
+            raise EmulationError(
+                f"{what}: max_apps must be >= 1, got {max_apps}"
+            )
+        self.max_apps = max_apps
+        self._what = what
+
+    @property
+    def total(self) -> int | None:
+        # Only a hard count cap makes the length knowable up front.
+        if self.max_apps is not None and self.duration_us is None:
+            return self.max_apps
+        return None
+
+
+class PoissonStream(_BoundedStream):
+    """Homogeneous Poisson arrivals at ``rate_per_ms``, app mix by weight."""
+
+    def __init__(
+        self,
+        rate_per_ms: float,
+        apps: dict[str, float],
+        *,
+        duration_ms: float | None = None,
+        max_apps: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        what = f"poisson({rate_per_ms}/ms)"
+        super().__init__(
+            duration_us=None if duration_ms is None else duration_ms * MS,
+            max_apps=max_apps,
+            what=what,
+        )
+        self.rate_per_ms = _positive_rate(rate_per_ms, f"{what}: rate_per_ms")
+        self.names, self.cum = _normalize_mix(apps, what)
+        self.seed = int(seed)
+        self.description = (
+            f"openloop poisson {self.rate_per_ms:g}/ms seed={self.seed}"
+        )
+
+    def arrivals(self):
+        factory = SeedSequenceFactory(self.seed)
+        t_rng = factory.rng("openloop", "poisson", "times")
+        a_rng = factory.rng("openloop", "poisson", "apps")
+        scale = 1.0 / (self.rate_per_ms / MS)  # mean inter-arrival, µs
+        names, cum = self.names, self.cum
+        last = len(names) - 1
+        t = 0.0
+        emitted = 0
+        while True:
+            gaps = t_rng.exponential(scale, size=_CHUNK)
+            picks = a_rng.random(_CHUNK)
+            for gap, u in zip(gaps, picks):
+                t += gap
+                if self.duration_us is not None and t >= self.duration_us:
+                    return
+                yield t, names[min(bisect_right(cum, u), last)]
+                emitted += 1
+                if self.max_apps is not None and emitted >= self.max_apps:
+                    return
+
+
+class PeriodicStream(_BoundedStream):
+    """Deterministic fixed-spacing arrivals with a smooth weighted mix.
+
+    One arrival every ``1/rate_per_ms`` ms; the app for each slot comes from
+    an error-diffusion (smooth weighted round-robin) pick, so the mix
+    converges to the weights without any randomness — the same seedless
+    trace every run.
+    """
+
+    def __init__(
+        self,
+        rate_per_ms: float,
+        apps: dict[str, float],
+        *,
+        duration_ms: float | None = None,
+        max_apps: int | None = None,
+        phase_us: float = 0.0,
+    ) -> None:
+        what = f"periodic({rate_per_ms}/ms)"
+        super().__init__(
+            duration_us=None if duration_ms is None else duration_ms * MS,
+            max_apps=max_apps,
+            what=what,
+        )
+        self.rate_per_ms = _positive_rate(rate_per_ms, f"{what}: rate_per_ms")
+        names, cum = _normalize_mix(apps, what)
+        self.names = names
+        # back out the normalized per-app shares from the cumulative form
+        self.shares = [
+            cum[i] - (cum[i - 1] if i else 0.0) for i in range(len(names))
+        ]
+        if not math.isfinite(phase_us) or phase_us < 0:
+            raise EmulationError(f"{what}: phase must be >= 0, got {phase_us}")
+        self.phase_us = phase_us
+        self.description = f"openloop periodic {self.rate_per_ms:g}/ms"
+
+    def arrivals(self):
+        period = MS / self.rate_per_ms
+        names, shares = self.names, self.shares
+        n = len(names)
+        credits = [0.0] * n
+        k = 0
+        while True:
+            t = self.phase_us + k * period
+            if self.duration_us is not None and t >= self.duration_us:
+                return
+            best = 0
+            for i in range(n):
+                credits[i] += shares[i]
+                if credits[i] > credits[best]:
+                    best = i
+            credits[best] -= 1.0
+            yield t, names[best]
+            k += 1
+            if self.max_apps is not None and k >= self.max_apps:
+                return
+
+
+class _ThinnedStream(_BoundedStream):
+    """Nonhomogeneous Poisson via thinning against a constant majorant.
+
+    Subclasses provide ``rate_at(t_us)`` (µs^-1) and ``peak_rate_us``; the
+    generator draws candidate arrivals at the peak rate and accepts each
+    with probability ``rate_at(t)/peak`` — the standard Lewis-Shedler
+    construction, deterministic for a fixed seed.
+    """
+
+    stream_kind = "thinned"
+
+    def rate_at(self, t_us: float) -> float:
+        raise NotImplementedError
+
+    @property
+    def peak_rate_us(self) -> float:
+        raise NotImplementedError
+
+    def arrivals(self):
+        factory = SeedSequenceFactory(self.seed)
+        t_rng = factory.rng("openloop", self.stream_kind, "times")
+        u_rng = factory.rng("openloop", self.stream_kind, "thin")
+        a_rng = factory.rng("openloop", self.stream_kind, "apps")
+        peak = self.peak_rate_us
+        scale = 1.0 / peak
+        names, cum = self.names, self.cum
+        last = len(names) - 1
+        t = 0.0
+        emitted = 0
+        while True:
+            gaps = t_rng.exponential(scale, size=_CHUNK)
+            accepts = u_rng.random(_CHUNK)
+            picks = a_rng.random(_CHUNK)
+            for gap, v, u in zip(gaps, accepts, picks):
+                t += gap
+                if self.duration_us is not None and t >= self.duration_us:
+                    return
+                if v * peak >= self.rate_at(t):
+                    continue  # thinned out
+                yield t, names[min(bisect_right(cum, u), last)]
+                emitted += 1
+                if self.max_apps is not None and emitted >= self.max_apps:
+                    return
+
+
+class DiurnalStream(_ThinnedStream):
+    """Sinusoidal day/night load: rate swings between base and peak.
+
+    ``rate(t) = base + (peak - base) · (1 - cos(2πt/period)) / 2`` — the
+    cycle starts at the base rate, crests at ``period/2``, and returns.
+    """
+
+    stream_kind = "diurnal"
+
+    def __init__(
+        self,
+        rate_per_ms: float,
+        peak_rate_per_ms: float,
+        apps: dict[str, float],
+        *,
+        period_ms: float = 1000.0,
+        duration_ms: float | None = None,
+        max_apps: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        what = f"diurnal({rate_per_ms}..{peak_rate_per_ms}/ms)"
+        super().__init__(
+            duration_us=None if duration_ms is None else duration_ms * MS,
+            max_apps=max_apps,
+            what=what,
+        )
+        self.base = _positive_rate(rate_per_ms, f"{what}: rate_per_ms")
+        self.peak = _positive_rate(
+            peak_rate_per_ms, f"{what}: peak_rate_per_ms"
+        )
+        if self.peak < self.base:
+            raise EmulationError(
+                f"{what}: peak_rate_per_ms ({self.peak}) must be >= "
+                f"rate_per_ms ({self.base})"
+            )
+        self.period_us = _positive_rate(period_ms, f"{what}: period_ms") * MS
+        self.names, self.cum = _normalize_mix(apps, what)
+        self.seed = int(seed)
+        self.description = (
+            f"openloop diurnal {self.base:g}..{self.peak:g}/ms "
+            f"period={self.period_us / MS:g}ms seed={self.seed}"
+        )
+
+    @property
+    def peak_rate_us(self) -> float:
+        return self.peak / MS
+
+    def rate_at(self, t_us: float) -> float:
+        swing = (self.peak - self.base) / MS
+        base = self.base / MS
+        return base + swing * 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * t_us / self.period_us)
+        )
+
+
+class BurstyStream(_ThinnedStream):
+    """Flash-crowd load: a base rate with piecewise-constant burst windows.
+
+    Each burst is ``(start_ms, duration_ms, rate_per_ms)``; while a burst
+    window is active the offered rate is the burst rate (overlapping bursts
+    take the maximum), otherwise the base rate.
+    """
+
+    stream_kind = "bursty"
+
+    def __init__(
+        self,
+        rate_per_ms: float,
+        apps: dict[str, float],
+        *,
+        bursts: list[tuple[float, float, float]],
+        duration_ms: float | None = None,
+        max_apps: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        what = f"bursty({rate_per_ms}/ms base)"
+        super().__init__(
+            duration_us=None if duration_ms is None else duration_ms * MS,
+            max_apps=max_apps,
+            what=what,
+        )
+        self.base = _positive_rate(rate_per_ms, f"{what}: rate_per_ms")
+        if not bursts:
+            raise EmulationError(f"{what}: bursts list is empty")
+        windows: list[tuple[float, float, float]] = []
+        for j, burst in enumerate(bursts):
+            try:
+                start_ms, dur_ms, rate = burst
+            except (TypeError, ValueError):
+                raise EmulationError(
+                    f"{what}: burst #{j} must be "
+                    f"(start_ms, duration_ms, rate_per_ms), got {burst!r}"
+                ) from None
+            start_ms = float(start_ms)
+            if not math.isfinite(start_ms) or start_ms < 0:
+                raise EmulationError(
+                    f"{what}: burst #{j} start must be >= 0, got {start_ms}"
+                )
+            dur_ms = _positive_rate(dur_ms, f"{what}: burst #{j} duration")
+            rate = _positive_rate(rate, f"{what}: burst #{j} rate")
+            windows.append((start_ms * MS, (start_ms + dur_ms) * MS, rate))
+        self.windows = sorted(windows)
+        self.names, self.cum = _normalize_mix(apps, what)
+        self.seed = int(seed)
+        peak = max(self.base, max(w[2] for w in self.windows))
+        self._peak = peak
+        self.description = (
+            f"openloop bursty {self.base:g}/ms +{len(self.windows)} "
+            f"burst(s) peak={peak:g}/ms seed={self.seed}"
+        )
+
+    @property
+    def peak_rate_us(self) -> float:
+        return self._peak / MS
+
+    def rate_at(self, t_us: float) -> float:
+        rate = self.base
+        for start, end, burst_rate in self.windows:
+            if start > t_us:
+                break
+            if t_us < end and burst_rate > rate:
+                rate = burst_rate
+        return rate / MS
+
+
+class TraceStream(ArrivalStream):
+    """Replay arrivals from a trace file, one line at a time (O(1) memory).
+
+    Two formats, chosen by extension:
+
+    * ``.jsonl`` — one JSON value per line: either an object
+      ``{"t_us": <float>, "app": <name>}`` or a two-element array
+      ``[<t_us>, <name>]``.
+    * ``.csv`` — ``t_us,app`` rows; a header row naming the columns is
+      skipped if present.
+
+    ``time_scale`` divides every timestamp (>1 compresses the trace —
+    the offered-load knob for replayed traces).  Ordering violations are
+    reported with the offending line via the stream guard.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        time_scale: float = 1.0,
+        max_apps: int | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.time_scale = _positive_rate(
+            time_scale, f"trace {self.path!r}: time_scale"
+        )
+        if max_apps is not None and max_apps < 1:
+            raise EmulationError(
+                f"trace {self.path!r}: max_apps must be >= 1, got {max_apps}"
+            )
+        self.max_apps = max_apps
+        self.description = f"openloop trace {self.path}"
+
+    def arrivals(self):
+        jsonl = self.path.endswith((".jsonl", ".json"))
+        emitted = 0
+        try:
+            fh = open(self.path, encoding="utf-8")
+        except OSError as exc:
+            raise EmulationError(
+                f"cannot open arrival trace {self.path!r}: {exc}"
+            ) from exc
+        with fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    if jsonl:
+                        row = json.loads(line)
+                        if isinstance(row, dict):
+                            t, app_name = row["t_us"], row["app"]
+                        else:
+                            t, app_name = row
+                    else:
+                        first, _, rest = line.partition(",")
+                        if lineno == 1 and not _is_number(first):
+                            continue  # header row
+                        t, app_name = float(first), rest.strip()
+                    t = float(t)
+                except (ValueError, KeyError, TypeError,
+                        json.JSONDecodeError) as exc:
+                    raise EmulationError(
+                        f"arrival trace {self.path!r} line {lineno}: "
+                        f"cannot parse {line!r}: {exc}"
+                    ) from exc
+                if not app_name:
+                    raise EmulationError(
+                        f"arrival trace {self.path!r} line {lineno}: "
+                        "missing app name"
+                    )
+                yield t / self.time_scale, app_name
+                emitted += 1
+                if self.max_apps is not None and emitted >= self.max_apps:
+                    return
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Declarative arrival specs (the --arrivals JSON façade)
+# ---------------------------------------------------------------------------
+
+ARRIVAL_KINDS = ("poisson", "periodic", "diurnal", "bursty", "trace")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """JSON-serializable description of one arrival stream.
+
+    The CLI/bench knobs compose through :meth:`build`: ``rate_scale``
+    multiplies every generated rate (or compresses a trace's timestamps),
+    and ``duration_ms``/``max_apps`` override the spec's own bounds.
+    """
+
+    kind: str
+    apps: tuple[tuple[str, float], ...] = ()
+    rate_per_ms: float | None = None
+    duration_ms: float | None = None
+    max_apps: int | None = None
+    seed: int = 0
+    #: diurnal only
+    peak_rate_per_ms: float | None = None
+    period_ms: float | None = None
+    #: bursty only: (start_ms, duration_ms, rate_per_ms) windows
+    bursts: tuple[tuple[float, float, float], ...] = ()
+    #: trace only
+    path: str = ""
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise EmulationError(
+                f"unknown arrival kind {self.kind!r} "
+                f"(use one of {ARRIVAL_KINDS})"
+            )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        doc: dict = {"kind": self.kind}
+        if self.apps:
+            doc["apps"] = {name: w for name, w in self.apps}
+        for key in ("rate_per_ms", "duration_ms", "max_apps",
+                    "peak_rate_per_ms", "period_ms"):
+            value = getattr(self, key)
+            if value is not None:
+                doc[key] = value
+        if self.seed:
+            doc["seed"] = self.seed
+        if self.bursts:
+            doc["bursts"] = [
+                {"start_ms": s, "duration_ms": d, "rate_per_ms": r}
+                for s, d, r in self.bursts
+            ]
+        if self.path:
+            doc["path"] = self.path
+        if self.label:
+            doc["label"] = self.label
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArrivalSpec":
+        if not isinstance(data, dict):
+            raise EmulationError(
+                f"arrival spec must be an object, got {type(data).__name__}"
+            )
+        known = {
+            "kind", "apps", "rate_per_ms", "duration_ms", "max_apps",
+            "seed", "peak_rate_per_ms", "period_ms", "bursts", "path",
+            "label",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise EmulationError(
+                f"unknown arrival spec keys: {sorted(unknown)}"
+            )
+        kind = str(data.get("kind", ""))
+        apps_raw = data.get("apps", {})
+        if not isinstance(apps_raw, dict):
+            raise EmulationError("arrival spec 'apps' must be an object "
+                                 "mapping app name -> weight")
+        bursts_raw = data.get("bursts", [])
+        bursts: list[tuple[float, float, float]] = []
+        for j, b in enumerate(bursts_raw):
+            if isinstance(b, dict):
+                extra = set(b) - {"start_ms", "duration_ms", "rate_per_ms"}
+                if extra or "start_ms" not in b:
+                    raise EmulationError(
+                        f"arrival spec burst #{j} must have start_ms, "
+                        f"duration_ms, rate_per_ms (got {sorted(b)})"
+                    )
+                bursts.append((
+                    float(b["start_ms"]),
+                    float(b.get("duration_ms", 0.0)),
+                    float(b.get("rate_per_ms", 0.0)),
+                ))
+            else:
+                try:
+                    s, d, r = b
+                except (TypeError, ValueError):
+                    raise EmulationError(
+                        f"arrival spec burst #{j}: expected 3 fields, "
+                        f"got {b!r}"
+                    ) from None
+                bursts.append((float(s), float(d), float(r)))
+
+        def opt(key: str) -> float | None:
+            value = data.get(key)
+            return None if value is None else float(value)
+
+        max_apps = data.get("max_apps")
+        return cls(
+            kind=kind,
+            apps=tuple(sorted(
+                (str(k), float(v)) for k, v in apps_raw.items()
+            )),
+            rate_per_ms=opt("rate_per_ms"),
+            duration_ms=opt("duration_ms"),
+            max_apps=None if max_apps is None else int(max_apps),
+            seed=int(data.get("seed", 0)),
+            peak_rate_per_ms=opt("peak_rate_per_ms"),
+            period_ms=opt("period_ms"),
+            bursts=tuple(bursts),
+            path=str(data.get("path", "")),
+            label=str(data.get("label", "")),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "ArrivalSpec":
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise EmulationError(
+                f"cannot load arrival spec {path!r}: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    # -- construction --------------------------------------------------------
+
+    def build(
+        self,
+        *,
+        rate_scale: float = 1.0,
+        duration_ms: float | None = None,
+        max_apps: int | None = None,
+    ) -> ArrivalStream:
+        """Instantiate the stream, applying the offered-load/bound knobs."""
+        rate_scale = _positive_rate(rate_scale, "rate_scale")
+        duration = duration_ms if duration_ms is not None else self.duration_ms
+        cap = max_apps if max_apps is not None else self.max_apps
+        apps = dict(self.apps)
+
+        def scaled(rate: float | None, what: str) -> float:
+            if rate is None:
+                raise EmulationError(
+                    f"arrival spec kind={self.kind!r} requires {what}"
+                )
+            return rate * rate_scale
+
+        if self.kind == "trace":
+            if not self.path:
+                raise EmulationError("arrival spec kind='trace' requires path")
+            stream: ArrivalStream = TraceStream(
+                self.path, time_scale=rate_scale, max_apps=cap
+            )
+        elif self.kind == "poisson":
+            stream = PoissonStream(
+                scaled(self.rate_per_ms, "rate_per_ms"), apps,
+                duration_ms=duration, max_apps=cap, seed=self.seed,
+            )
+        elif self.kind == "periodic":
+            stream = PeriodicStream(
+                scaled(self.rate_per_ms, "rate_per_ms"), apps,
+                duration_ms=duration, max_apps=cap,
+            )
+        elif self.kind == "diurnal":
+            stream = DiurnalStream(
+                scaled(self.rate_per_ms, "rate_per_ms"),
+                scaled(self.peak_rate_per_ms, "peak_rate_per_ms"),
+                apps,
+                period_ms=(
+                    self.period_ms if self.period_ms is not None else 1000.0
+                ),
+                duration_ms=duration, max_apps=cap, seed=self.seed,
+            )
+        else:  # bursty
+            stream = BurstyStream(
+                scaled(self.rate_per_ms, "rate_per_ms"), apps,
+                bursts=tuple(
+                    (s, d, r * rate_scale) for s, d, r in self.bursts
+                ),
+                duration_ms=duration, max_apps=cap, seed=self.seed,
+            )
+        if self.label:
+            stream.description = f"{self.label}: {stream.description}"
+        return stream

@@ -98,12 +98,53 @@ class ReadyList:
         return list(iter(self))
 
 
+class MaterializedSource:
+    """Finite instance queue over a prebuilt, arrival-ordered list.
+
+    The closed-loop path: every :class:`ApplicationInstance` exists before
+    the emulation starts (the application handler built the list in
+    arrival order).  Injection is an index walk, so results through this
+    source are bit-identical to the historical list-indexing WM.
+    """
+
+    __slots__ = ("instances", "_idx")
+
+    #: lazy sources set this False when instances carry no emulated memory
+    materialize = True
+
+    def __init__(self, instances: list[ApplicationInstance]) -> None:
+        self.instances = instances
+        self._idx = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.instances)
+
+    @property
+    def produced(self) -> int:
+        return self._idx
+
+    @property
+    def exhausted(self) -> bool:
+        return self._idx >= len(self.instances)
+
+    def peek_time(self) -> float | None:
+        if self._idx >= len(self.instances):
+            return None
+        return self.instances[self._idx].arrival_time
+
+    def pop(self) -> ApplicationInstance:
+        instance = self.instances[self._idx]
+        self._idx += 1
+        return instance
+
+
 class WorkloadManagerCore:
     """One emulation's WM state: workload queue, ready list, dispatch."""
 
     def __init__(
         self,
-        instances: list[ApplicationInstance],
+        workload: list[ApplicationInstance] | MaterializedSource,
         handlers: list[ResourceHandler],
         scheduler: Scheduler,
         stats: EmulationStats,
@@ -112,8 +153,16 @@ class WorkloadManagerCore:
         faults: FaultInjector | None = None,
         qos: QoSController | None = None,
     ) -> None:
-        # Workload queue, ordered by arrival (the application handler built it so).
-        self.instances = instances
+        # Workload queue, ordered by arrival.  A plain list (the historical
+        # signature, kept for direct constructions in tests) is wrapped in a
+        # MaterializedSource; anything else must quack like one — streaming
+        # runs pass a LazyInstanceSource that builds instances at pop time.
+        if isinstance(workload, list):
+            self.source = MaterializedSource(workload)
+        else:
+            self.source = workload
+        #: prebuilt instances when the source has them (empty for lazy sources)
+        self.instances = getattr(self.source, "instances", [])
         self.handlers = handlers
         self.scheduler = scheduler
         self.stats = stats
@@ -125,12 +174,13 @@ class WorkloadManagerCore:
         # the Python generator path); semantics are identical.
         kernels = core_select.native_kernels()
         self.ready = kernels.ReadyList() if kernels is not None else ReadyList()
-        self.arrival_idx = 0
         self.apps_completed = 0
         self.apps_degraded = 0
         #: set once any PE has permanently failed (enables recheck paths)
         self.any_failed = False
-        self.tasks_outstanding = sum(i.task_count for i in instances)
+        #: tasks injected but not yet finished/discarded — counted up at
+        #: injection so unbounded streams never need a full-workload sum
+        self.tasks_outstanding = 0
         # -- admission control (see runtime.qos) ----------------------------
         self.apps_dropped = 0
         #: admitted but not yet completed/degraded/dropped
@@ -147,14 +197,17 @@ class WorkloadManagerCore:
 
     @property
     def n_apps(self) -> int:
-        return len(self.instances)
+        """Workload size: the total when known, else apps produced so far."""
+        total = self.source.total
+        return self.source.produced if total is None else total
 
     def all_complete(self) -> bool:
         """Every app is accounted for: completed, degraded, or dropped."""
-        return (
-            self.apps_completed + self.apps_degraded + self.apps_dropped
-            == self.n_apps
-        )
+        done = self.apps_completed + self.apps_degraded + self.apps_dropped
+        total = self.source.total
+        if total is not None:
+            return done == total
+        return self.source.exhausted and done == self.source.produced
 
     def admission_open(self) -> bool:
         """False only while a ``defer``-policy arrival must wait for capacity.
@@ -172,9 +225,7 @@ class WorkloadManagerCore:
 
     def next_arrival(self) -> float | None:
         """Arrival time of the workload queue's head, or None when drained."""
-        if self.arrival_idx >= len(self.instances):
-            return None
-        return self.instances[self.arrival_idx].arrival_time
+        return self.source.peek_time()
 
     def has_due_arrival(self, now: float) -> bool:
         nxt = self.next_arrival()
@@ -213,6 +264,12 @@ class WorkloadManagerCore:
                 self.stats.record_app_completion(task.app)
                 if self.qos is not None:
                     self.apps_in_flight -= 1
+                if self.stats.streaming:
+                    # Open-loop runs: stats have everything they need, so
+                    # the DAG/memory bookkeeping can go.  Degraded apps are
+                    # never released — their in-flight tasks still complete
+                    # through on_task_complete.
+                    task.app.release()
         return n
 
     def inject_due(self, now: float) -> int:
@@ -226,19 +283,38 @@ class WorkloadManagerCore:
         is what keeps ``completed + degraded + dropped == injected``.
         """
         admission = self.qos.admission if self.qos is not None else None
+        queue = self._admitted
+        if (
+            queue is not None
+            and len(queue) > 64
+            and len(queue) > 4 * (self.apps_in_flight + 1)
+        ):
+            # Settled apps are normally pruned from the front by the victim
+            # scan, but out-of-order completions can strand them mid-deque;
+            # compact so streaming runs do not retain every admitted app.
+            self._admitted = queue = deque(
+                app
+                for app in queue
+                if not (
+                    app.started or app.is_complete or app.degraded or app.dropped
+                )
+            )
         injected = 0
-        while self.arrival_idx < len(self.instances):
-            instance = self.instances[self.arrival_idx]
-            if instance.arrival_time > now:
+        source = self.source
+        while True:
+            arrival = source.peek_time()
+            if arrival is None or arrival > now:
                 break
             if (
                 admission is not None
                 and self.apps_in_flight >= admission.max_pending
             ):
                 if admission.policy == "defer":
+                    # leave the arrival at the stream head for a later pass
                     break
                 if admission.policy == "drop-newest":
-                    self.arrival_idx += 1
+                    instance = source.pop()
+                    self.tasks_outstanding += instance.task_count
                     injected += 1
                     self._drop_app(instance, now, "drop-newest", admitted=False)
                     continue
@@ -246,17 +322,19 @@ class WorkloadManagerCore:
                 if victim is None:
                     # every admitted app has made progress: shed the
                     # arrival instead of wasting work already done
-                    self.arrival_idx += 1
+                    instance = source.pop()
+                    self.tasks_outstanding += instance.task_count
                     injected += 1
                     self._drop_app(instance, now, "drop-oldest", admitted=False)
                     continue
                 self._drop_app(victim, now, "drop-oldest", admitted=True)
+            instance = source.pop()
+            self.tasks_outstanding += instance.task_count
             instance.inject_time = now
             heads = instance.head_tasks()
             for task in heads:
                 task.mark_ready(now)
             self.ready.extend(heads)
-            self.arrival_idx += 1
             injected += 1
             if self.qos is not None:
                 self.apps_in_flight += 1
@@ -301,6 +379,10 @@ class WorkloadManagerCore:
                 self.ready.remove_ids(in_ready)
         self.tasks_outstanding -= app.task_count
         self.stats.record_app_drop(app, now, reason)
+        if self.stats.streaming:
+            # Never-started by the victim rule (or never admitted at all):
+            # nothing in flight references its tasks.
+            app.release()
 
     def run_policy(self, now: float) -> list[Assignment]:
         """Apply the user-selected policy to the ready list (no side effects)."""

@@ -201,7 +201,10 @@ class TestWorkloadManagerCore:
         core.check_liveness(0.0)  # must not raise
 
     def test_tasks_outstanding_accounting(self, zcu):
+        # Counted at injection (streams may be unbounded), not construction.
         core, _h, _s = make_core(zcu, arrivals=(0.0, 0.0))
+        assert core.tasks_outstanding == 0
+        core.inject_due(0.0)
         assert core.tasks_outstanding == 8
 
 
