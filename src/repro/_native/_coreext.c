@@ -497,6 +497,7 @@ typedef struct {
 
 static PyTypeObject ReadyList_Type;     /* fwd */
 static PyTypeObject ReadyListIter_Type; /* fwd */
+static int readylist_compact(ReadyListObject *self); /* fwd */
 
 static int
 readylist_reserve(ReadyListObject *self, Py_ssize_t need)
@@ -524,6 +525,34 @@ ReadyList_extend(ReadyListObject *self, PyObject *tasks)
     if (!seq)
         return NULL;
     Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    /* A task re-entering while its mid-list tombstone is still pending
+     * (fault requeue of a dispatched task, or an id() recycled onto a
+     * tombstoned address) would be invisible to iteration while len()
+     * still counts it.  Compact first so the stale occurrence is
+     * physically gone before the id goes live again. */
+    if (PySet_GET_SIZE(self->dead) > 0) {
+        for (Py_ssize_t i = 0; i < n; i++) {
+            PyObject *t = PySequence_Fast_GET_ITEM(seq, i);
+            PyObject *key = PyLong_FromVoidPtr((void *)t);
+            if (!key) {
+                Py_DECREF(seq);
+                return NULL;
+            }
+            int hit = PySet_Contains(self->dead, key);
+            Py_DECREF(key);
+            if (hit < 0) {
+                Py_DECREF(seq);
+                return NULL;
+            }
+            if (hit) {
+                if (readylist_compact(self) < 0) {
+                    Py_DECREF(seq);
+                    return NULL;
+                }
+                break;
+            }
+        }
+    }
     if (readylist_reserve(self, self->size + n) < 0) {
         Py_DECREF(seq);
         return NULL;

@@ -213,6 +213,22 @@ class TaskGraph:
             dist[name] = best + weight_fn(name)
         return max(dist.values())
 
+    def upward_rank_lengths(self, weight_fn=None) -> dict[str, float]:
+        """Per-node longest path to the exit — the list-scheduling
+        "upward rank" skeleton (HEFT/cprank priorities are this with
+        mean-execution-time weights).  ``weight_fn(node_name) -> float``
+        defaults to unit weights; an exit node's rank is its own weight,
+        and ``max(result.values())`` equals :meth:`critical_path_length`
+        under the same weights."""
+        if weight_fn is None:
+            weight_fn = lambda _n: 1.0
+        ranks: dict[str, float] = {}
+        for name in reversed(self._topo_order):
+            node = self.nodes[name]
+            best = max((ranks[s] for s in node.successors), default=0.0)
+            ranks[name] = weight_fn(name) + best
+        return ranks
+
     def total_variable_bytes(self) -> int:
         return sum(spec.storage_bytes for spec in self.variables.values())
 

@@ -39,6 +39,7 @@ from repro.dse.frontier import (
 from repro.dse.grid import (
     SweepCell,
     SweepGrid,
+    arrivals_sweep,
     build_workload,
     rate_sweep,
     table_ii_sweep,
@@ -59,6 +60,7 @@ __all__ = [
     "validation_sweep",
     "rate_sweep",
     "table_ii_sweep",
+    "arrivals_sweep",
     "ResultCache",
     "Journal",
     "JournalState",

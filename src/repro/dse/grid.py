@@ -20,10 +20,10 @@ from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.common.errors import ReproError
-from repro.runtime.workload import WorkloadSpec
+from repro.runtime.workload import ArrivalStream, WorkloadSpec
 
 #: Workload descriptor kinds understood by :func:`build_workload`.
-WORKLOAD_KINDS = ("validation", "rate", "table_ii")
+WORKLOAD_KINDS = ("validation", "rate", "table_ii", "arrivals")
 
 
 def validation_sweep(apps: dict[str, int]) -> dict[str, Any]:
@@ -49,10 +49,30 @@ def table_ii_sweep(rate: float) -> dict[str, Any]:
     return {"kind": "table_ii", "rate": float(rate)}
 
 
-def build_workload(descriptor: dict[str, Any]) -> WorkloadSpec:
-    """Materialize a workload descriptor into a :class:`WorkloadSpec`."""
+def arrivals_sweep(spec: dict[str, Any]) -> dict[str, Any]:
+    """Descriptor for an open-loop arrival stream (serving-style cell).
+
+    ``spec`` is an :class:`~repro.runtime.workload.ArrivalSpec` dict —
+    the same shape ``--arrivals`` accepts on the CLI.  It is validated
+    eagerly so a sweep file with a typo'd spec fails at grid expansion,
+    not minutes later inside a worker process.
+    """
+    from repro.runtime.workload import ArrivalSpec
+
+    ArrivalSpec.from_dict(dict(spec))  # fail fast; cells carry the dict
+    return {"kind": "arrivals", "spec": dict(spec)}
+
+
+def build_workload(descriptor: dict[str, Any]) -> WorkloadSpec | ArrivalStream:
+    """Materialize a workload descriptor into a :class:`WorkloadSpec`
+    (closed-loop kinds) or a fresh :class:`ArrivalStream` (``arrivals``).
+
+    Streams are re-iterable — each emulation run draws a fresh generator
+    with the same seed — so one build per cell serves every iteration,
+    exactly like the materialized kinds.
+    """
     from repro.experiments.workloads import table_ii_workload, workload_at_rate
-    from repro.runtime.workload import validation_workload
+    from repro.runtime.workload import ArrivalSpec, validation_workload
 
     kind = descriptor.get("kind")
     if kind == "validation":
@@ -65,6 +85,8 @@ def build_workload(descriptor: dict[str, Any]) -> WorkloadSpec:
         return workload_at_rate(descriptor["rate"])
     if kind == "table_ii":
         return table_ii_workload(descriptor["rate"])
+    if kind == "arrivals":
+        return ArrivalSpec.from_dict(dict(descriptor["spec"])).build()
     raise ReproError(
         f"unknown workload descriptor kind {kind!r} (use {WORKLOAD_KINDS})"
     )
@@ -78,6 +100,10 @@ def describe_workload(descriptor: dict[str, Any]) -> str:
         return ",".join(f"{n}={c}" for n, c in apps.items())
     if kind in ("rate", "table_ii"):
         return f"{kind}@{descriptor['rate']:g}"
+    if kind == "arrivals":
+        spec = descriptor.get("spec", {})
+        label = spec.get("label") or spec.get("kind", "?")
+        return f"arrivals:{label}"
     return str(descriptor)
 
 
@@ -321,6 +347,18 @@ class SweepGrid:
                     f"workload descriptor kind {w.get('kind')!r} not in "
                     f"{WORKLOAD_KINDS}"
                 )
+            if w.get("kind") == "arrivals":
+                # Validate the nested arrival spec at parse time — the
+                # same fail-fast contract arrivals_sweep() gives in-code
+                # grids (stray fields, unknown kinds, malformed bursts).
+                from repro.runtime.workload import ArrivalSpec
+
+                try:
+                    ArrivalSpec.from_dict(dict(w.get("spec") or {}))
+                except Exception as exc:
+                    raise ReproError(
+                        f"invalid arrivals workload in sweep spec: {exc}"
+                    ) from exc
         return grid
 
     def with_overrides(self, **kwargs: Any) -> SweepGrid:

@@ -28,6 +28,7 @@ from repro.perf.harness import (
 from repro.perf.rss import peak_rss_bytes, reset_peak_rss
 from repro.perf.scenarios import (
     BenchScenario,
+    LOOKAHEAD_SCENARIOS,
     SCENARIOS,
     SERVING_SCENARIOS,
     all_scenario_names,
@@ -37,6 +38,7 @@ from repro.perf.scenarios import (
 
 __all__ = [
     "BenchScenario",
+    "LOOKAHEAD_SCENARIOS",
     "SCENARIOS",
     "SERVING_SCENARIOS",
     "all_scenario_names",

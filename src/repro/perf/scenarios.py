@@ -25,6 +25,11 @@ streaming stats — so the tracked numbers include peak RSS:
   scaling pair: 10^5 vs 10^6 injected apps at the same offered load;
   constant-memory injection means their peak RSS must be about equal.
 
+The lookahead family (``LOOKAHEAD_SCENARIOS``, also opt-in by name)
+reruns the scheduler-stress and serving-openloop load shapes under the
+lookahead policies, timing the cprank rank cache and the rollout
+forward simulator under long ready queues.
+
 Scenarios are deterministic (fixed seed, fixed workload) so that two
 reports from the same commit agree and cross-commit deltas mean code,
 not luck.
@@ -251,8 +256,35 @@ SERVING_SCENARIOS: tuple[BenchScenario, ...] = (
     ),
 )
 
+#: Lookahead-policy stress pair (opt-in by name, like the serving family):
+#: the same load shapes as ``scheduler-stress``/``serving-openloop`` but
+#: under the lookahead policies, so regressions in the rank cache
+#: (cprank) or the rollout simulator show up as wall-time deltas rather
+#: than only as scheduling-overhead stats inside an emulation report.
+LOOKAHEAD_SCENARIOS: tuple[BenchScenario, ...] = (
+    BenchScenario(
+        name="lookahead-cprank",
+        description="long ready queues under cprank (rank cache + repair)",
+        policy="cprank",
+        apps=(("range_detection", 20), ("wifi_tx", 15), ("pulse_doppler", 5)),
+        quick_apps=(("range_detection", 8), ("wifi_tx", 6),
+                    ("pulse_doppler", 1)),
+    ),
+    BenchScenario(
+        name="lookahead-rollout",
+        description="sustained Poisson open-loop under rollout lookahead",
+        policy="rollout",
+        mode="openloop",
+        arrivals={"kind": "poisson", "rate_per_ms": 3.5, "apps": _SDR_MIX,
+                  "duration_ms": 1500.0, "seed": 42},
+        quick_arrivals={"kind": "poisson", "rate_per_ms": 1.5,
+                        "apps": _SDR_MIX, "duration_ms": 200.0, "seed": 42},
+    ),
+)
+
 _BY_NAME = {s.name: s for s in SCENARIOS}
 _BY_NAME.update({s.name: s for s in SERVING_SCENARIOS})
+_BY_NAME.update({s.name: s for s in LOOKAHEAD_SCENARIOS})
 
 
 def scenario_names() -> list[str]:

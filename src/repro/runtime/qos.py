@@ -365,6 +365,9 @@ class EDFScheduler(Scheduler):
         self.inner = inner
         self.name = f"{inner.name}+edf"
         self.uses_reservation = inner.uses_reservation
+        # Stateful inner policies (cprank/rollout) still see WM events
+        # through the wrapper.
+        self.wants_events = inner.wants_events
 
     # The oracle is attached by the backend after construction; the inner
     # policy is what actually consumes it.
@@ -375,6 +378,15 @@ class EDFScheduler(Scheduler):
     @oracle.setter
     def oracle(self, oracle: ExecutionTimeOracle | None) -> None:
         self.inner.oracle = oracle
+
+    def notify_dispatch(self, assignments, now: float) -> None:
+        self.inner.notify_dispatch(assignments, now)
+
+    def notify_completion(self, task, now: float) -> None:
+        self.inner.notify_completion(task, now)
+
+    def notify_pe_failure(self, handler, now: float) -> None:
+        self.inner.notify_pe_failure(handler, now)
 
     @staticmethod
     def _deadline_key(task) -> float:

@@ -46,6 +46,12 @@ class Scheduler:
     name = "base"
     #: reservation-capable policies may also target busy PEs (queued dispatch)
     uses_reservation = False
+    #: policies that maintain incremental state (rank caches, in-flight
+    #: tracking) set this True so the workload manager forwards dispatch/
+    #: completion/PE-failure events to the notify_* hooks below.  The
+    #: default False keeps the WM hot loops free of per-event calls for
+    #: the stateless policies.
+    wants_events = False
 
     def __init__(self, oracle: ExecutionTimeOracle | None = None) -> None:
         self.oracle = oracle
@@ -72,6 +78,23 @@ class Scheduler:
     ) -> list[Assignment]:
         """Map ready tasks to PEs.  Must not mutate ``ready``."""
         raise NotImplementedError
+
+    # -- incremental-state hooks (only called when wants_events is True) -----------
+
+    def notify_dispatch(
+        self, assignments: list[Assignment], now: float
+    ) -> None:
+        """Committed assignments left the ready list (after WM commit)."""
+
+    def notify_completion(self, task: TaskInstance, now: float) -> None:
+        """A task finished; called before a completed app is released, so
+        ``task.app`` (and ``task.app.is_complete``) is still readable."""
+
+    def notify_pe_failure(
+        self, handler: ResourceHandler, now: float
+    ) -> None:
+        """A PE permanently failed; its in-flight work is about to be
+        requeued by the WM."""
 
     # -- helpers for subclasses ----------------------------------------------------
 

@@ -51,11 +51,9 @@ class HEFTScheduler(Scheduler):
         cached = self._rank_cache.get(key)
         if cached is not None:
             return cached  # type: ignore[return-value]
-        ranks: dict[str, float] = {}
-        for node_name in reversed(graph.topological_order()):
-            node = graph.nodes[node_name]
-            succ_rank = max((ranks[s] for s in node.successors), default=0.0)
-            ranks[node_name] = self._mean_cost(graph, node_name, handlers) + succ_rank
+        ranks = graph.upward_rank_lengths(
+            lambda n: self._mean_cost(graph, n, handlers)
+        )
         self._rank_cache[key] = ranks  # type: ignore[assignment]
         return ranks
 

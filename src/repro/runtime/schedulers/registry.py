@@ -12,6 +12,7 @@ from collections.abc import Callable
 
 from repro.common.errors import SchedulingError
 from repro.runtime.schedulers.base import ExecutionTimeOracle, Scheduler
+from repro.runtime.schedulers.cprank import CPRankScheduler
 from repro.runtime.schedulers.eft import EFTScheduler
 from repro.runtime.schedulers.frfs import FRFSScheduler
 from repro.runtime.schedulers.heft import HEFTScheduler
@@ -21,6 +22,7 @@ from repro.runtime.schedulers.reservation import (
     ReservationEFTScheduler,
     ReservationFRFSScheduler,
 )
+from repro.runtime.schedulers.rollout import RolloutScheduler
 
 SchedulerFactory = Callable[[ExecutionTimeOracle | None], Scheduler]
 
@@ -33,6 +35,8 @@ _REGISTRY: dict[str, SchedulerFactory] = {
     "met_power": lambda oracle: PowerAwareMETScheduler(oracle),
     "frfs_reserve": lambda oracle: ReservationFRFSScheduler(oracle),
     "eft_reserve": lambda oracle: ReservationEFTScheduler(oracle),
+    "cprank": lambda oracle: CPRankScheduler(oracle),
+    "rollout": lambda oracle: RolloutScheduler(oracle),
 }
 
 

@@ -654,8 +654,11 @@ class TraceStream(ArrivalStream):
       skipped if present.
 
     ``time_scale`` divides every timestamp (>1 compresses the trace —
-    the offered-load knob for replayed traces).  Ordering violations are
-    reported with the offending line via the stream guard.
+    the offered-load knob for replayed traces), and ``duration_ms``
+    bounds replay in *scaled* time exactly like the generated sources:
+    the first arrival at or past the bound ends the stream.  Ordering
+    violations are reported with the offending line via the stream
+    guard.
     """
 
     def __init__(
@@ -663,12 +666,19 @@ class TraceStream(ArrivalStream):
         path: str,
         *,
         time_scale: float = 1.0,
+        duration_ms: float | None = None,
         max_apps: int | None = None,
     ) -> None:
         self.path = str(path)
         self.time_scale = _positive_rate(
             time_scale, f"trace {self.path!r}: time_scale"
         )
+        if duration_ms is not None:
+            self.duration_us: float | None = _positive_rate(
+                duration_ms * MS, f"trace {self.path!r}: duration"
+            )
+        else:
+            self.duration_us = None
         if max_apps is not None and max_apps < 1:
             raise EmulationError(
                 f"trace {self.path!r}: max_apps must be >= 1, got {max_apps}"
@@ -679,6 +689,7 @@ class TraceStream(ArrivalStream):
     def arrivals(self):
         jsonl = self.path.endswith((".jsonl", ".json"))
         emitted = 0
+        saw_data = False
         try:
             fh = open(self.path, encoding="utf-8")
         except OSError as exc:
@@ -699,10 +710,15 @@ class TraceStream(ArrivalStream):
                             t, app_name = row
                     else:
                         first, _, rest = line.partition(",")
-                        if lineno == 1 and not _is_number(first):
-                            continue  # header row
+                        if not saw_data and not _is_number(first):
+                            # Header row: only the first non-skipped row
+                            # may name the columns; anything non-numeric
+                            # later is a genuine parse error.
+                            saw_data = True
+                            continue
                         t, app_name = float(first), rest.strip()
                     t = float(t)
+                    saw_data = True
                 except (ValueError, KeyError, TypeError,
                         json.JSONDecodeError) as exc:
                     raise EmulationError(
@@ -714,7 +730,11 @@ class TraceStream(ArrivalStream):
                         f"arrival trace {self.path!r} line {lineno}: "
                         "missing app name"
                     )
-                yield t / self.time_scale, app_name
+                t_scaled = t / self.time_scale
+                if (self.duration_us is not None
+                        and t_scaled >= self.duration_us):
+                    return
+                yield t_scaled, app_name
                 emitted += 1
                 if self.max_apps is not None and emitted >= self.max_apps:
                     return
@@ -734,14 +754,42 @@ def _is_number(text: str) -> bool:
 
 ARRIVAL_KINDS = ("poisson", "periodic", "diurnal", "bursty", "trace")
 
+#: Fields each kind actually consumes, beyond the always-allowed
+#: ``kind``/``duration_ms``/``max_apps``/``label``.  Anything else set on
+#: a spec is rejected up front: a silently ignored ``seed`` on a
+#: deterministic periodic stream (or a rate on a trace replay) is a
+#: config typo, not a request.
+_KIND_FIELDS: dict[str, frozenset[str]] = {
+    "poisson": frozenset({"apps", "rate_per_ms", "seed"}),
+    "periodic": frozenset({"apps", "rate_per_ms"}),
+    "diurnal": frozenset(
+        {"apps", "rate_per_ms", "seed", "peak_rate_per_ms", "period_ms"}
+    ),
+    "bursty": frozenset({"apps", "rate_per_ms", "seed", "bursts"}),
+    "trace": frozenset({"path", "time_scale"}),
+}
+
+#: (field, default) pairs checked against :data:`_KIND_FIELDS`.
+_KIND_CHECKED: tuple[tuple[str, object], ...] = (
+    ("apps", ()),
+    ("rate_per_ms", None),
+    ("seed", 0),
+    ("peak_rate_per_ms", None),
+    ("period_ms", None),
+    ("bursts", ()),
+    ("path", ""),
+    ("time_scale", None),
+)
+
 
 @dataclass(frozen=True)
 class ArrivalSpec:
     """JSON-serializable description of one arrival stream.
 
     The CLI/bench knobs compose through :meth:`build`: ``rate_scale``
-    multiplies every generated rate (or compresses a trace's timestamps),
-    and ``duration_ms``/``max_apps`` override the spec's own bounds.
+    multiplies every generated rate (for a trace it *composes* with the
+    spec's own ``time_scale`` unit conversion), and
+    ``duration_ms``/``max_apps`` override the spec's own bounds.
     """
 
     kind: str
@@ -755,8 +803,10 @@ class ArrivalSpec:
     period_ms: float | None = None
     #: bursty only: (start_ms, duration_ms, rate_per_ms) windows
     bursts: tuple[tuple[float, float, float], ...] = ()
-    #: trace only
+    #: trace only: path to the trace file and its timestamp unit
+    #: conversion (e.g. 1000.0 for a trace recorded in ms)
     path: str = ""
+    time_scale: float | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -764,6 +814,16 @@ class ArrivalSpec:
             raise EmulationError(
                 f"unknown arrival kind {self.kind!r} "
                 f"(use one of {ARRIVAL_KINDS})"
+            )
+        allowed = _KIND_FIELDS[self.kind]
+        stray = [
+            name for name, default in _KIND_CHECKED
+            if name not in allowed and getattr(self, name) != default
+        ]
+        if stray:
+            raise EmulationError(
+                f"arrival spec kind={self.kind!r} does not use "
+                f"{sorted(stray)} (allowed: {sorted(allowed)})"
             )
 
     # -- (de)serialization ---------------------------------------------------
@@ -773,7 +833,7 @@ class ArrivalSpec:
         if self.apps:
             doc["apps"] = {name: w for name, w in self.apps}
         for key in ("rate_per_ms", "duration_ms", "max_apps",
-                    "peak_rate_per_ms", "period_ms"):
+                    "peak_rate_per_ms", "period_ms", "time_scale"):
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
@@ -799,7 +859,7 @@ class ArrivalSpec:
         known = {
             "kind", "apps", "rate_per_ms", "duration_ms", "max_apps",
             "seed", "peak_rate_per_ms", "period_ms", "bursts", "path",
-            "label",
+            "time_scale", "label",
         }
         unknown = set(data) - known
         if unknown:
@@ -854,6 +914,7 @@ class ArrivalSpec:
             period_ms=opt("period_ms"),
             bursts=tuple(bursts),
             path=str(data.get("path", "")),
+            time_scale=opt("time_scale"),
             label=str(data.get("label", "")),
         )
 
@@ -893,8 +954,14 @@ class ArrivalSpec:
         if self.kind == "trace":
             if not self.path:
                 raise EmulationError("arrival spec kind='trace' requires path")
+            # rate_scale composes with (never replaces) the spec's own
+            # timestamp unit conversion: both divide replayed times.
+            unit = self.time_scale if self.time_scale is not None else 1.0
             stream: ArrivalStream = TraceStream(
-                self.path, time_scale=rate_scale, max_apps=cap
+                self.path,
+                time_scale=unit * rate_scale,
+                duration_ms=duration,
+                max_apps=cap,
             )
         elif self.kind == "poisson":
             stream = PoissonStream(

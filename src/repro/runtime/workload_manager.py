@@ -45,6 +45,16 @@ class ReadyList:
         self._ids: set[int] = set()
 
     def extend(self, tasks: list[TaskInstance]) -> None:
+        dead = self._dead
+        if dead and any(id(t) in dead for t in tasks):
+            # A task re-entering while its mid-list tombstone is still
+            # pending (fault requeue of a dispatched task, or an id()
+            # recycled onto a tombstoned address): without compaction the
+            # stale tombstone would make the new entry invisible to
+            # iteration while len() still counts it, silently losing the
+            # task.  Compact now so the dead occurrence is physically gone
+            # before the id goes live again.
+            self._compact()
         self._items.extend(tasks)
         self._ids.update(map(id, tasks))
 
@@ -165,6 +175,9 @@ class WorkloadManagerCore:
         self.instances = getattr(self.source, "instances", [])
         self.handlers = handlers
         self.scheduler = scheduler
+        #: event sink for stateful policies (rank caches, in-flight
+        #: tracking); None keeps the per-completion hot path branch-cheap
+        self._events_to = scheduler if scheduler.wants_events else None
         self.stats = stats
         self.validate = validate
         self.faults = faults
@@ -259,6 +272,8 @@ class WorkloadManagerCore:
                 self.ready.extend(newly_ready)
             self.stats.record_task(task, handler.pe)
             self.tasks_outstanding -= 1
+            if self._events_to is not None:
+                self._events_to.notify_completion(task, now)
             if task.app.is_complete:
                 self.apps_completed += 1
                 self.stats.record_app_completion(task.app)
@@ -430,6 +445,8 @@ class WorkloadManagerCore:
                 if a.handler.status is PEStatus.IDLE:
                     base = now
                 a.handler.estimated_free_time = base + est
+        if self._events_to is not None:
+            self._events_to.notify_dispatch(assignments, now)
 
     # -- fault handling ---------------------------------------------------------
 
@@ -451,6 +468,8 @@ class WorkloadManagerCore:
         watchdog fail-stops in the timeline.
         """
         self.any_failed = True
+        if self._events_to is not None:
+            self._events_to.notify_pe_failure(handler, now)
         self.stats.record_pe_failure(handler.name, handler.failed_at, kind=kind)
         requeued: list[TaskInstance] = []
         for task in orphans:

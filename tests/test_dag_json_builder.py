@@ -159,6 +159,22 @@ class TestTaskGraph:
         weights = {"A": 1.0, "B": 10.0, "C": 2.0, "D": 1.0}
         assert g.critical_path_length(lambda n: weights[n]) == 12.0
 
+    def test_upward_rank_lengths_unit_weights(self):
+        # Diamond A -> {B, C} -> D: rank = longest path to the exit.
+        g = make_diamond_graph()
+        assert g.upward_rank_lengths() == {
+            "A": 3.0, "B": 2.0, "C": 2.0, "D": 1.0
+        }
+
+    def test_upward_rank_matches_critical_path(self):
+        g = make_diamond_graph()
+        weights = {"A": 1.0, "B": 10.0, "C": 2.0, "D": 1.0}
+        ranks = g.upward_rank_lengths(lambda n: weights[n])
+        assert ranks["B"] == 11.0 and ranks["C"] == 3.0
+        assert max(ranks.values()) == g.critical_path_length(
+            lambda n: weights[n]
+        )
+
     def test_platform_types_union(self):
         g = make_diamond_graph()
         assert g.platform_types() == {"cpu", "fft"}

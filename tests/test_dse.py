@@ -12,6 +12,7 @@ from repro.dse import (
     ResultCache,
     SweepCell,
     SweepGrid,
+    arrivals_sweep,
     build_workload,
     rate_sweep,
     run_campaign,
@@ -122,6 +123,69 @@ class TestGrid:
         assert build_workload(table_ii_sweep(1.71)).size == 171
         with pytest.raises(ReproError, match="unknown workload"):
             build_workload({"kind": "bogus"})
+
+    def test_arrivals_workload_builds_reiterable_stream(self):
+        from repro.runtime.workload import ArrivalStream
+
+        desc = arrivals_sweep({
+            "kind": "poisson", "rate_per_ms": 2.0, "seed": 7,
+            "apps": {"wifi_tx": 1.0}, "max_apps": 5,
+        })
+        stream = build_workload(desc)
+        assert isinstance(stream, ArrivalStream)
+        # re-iteration must replay the same deterministic arrivals: one
+        # build per cell serves every iteration of that cell
+        first = list(stream)
+        second = list(stream)
+        assert first == second and len(first) == 5
+
+    def test_arrivals_sweep_validates_spec_eagerly(self):
+        from repro.common.errors import EmulationError
+
+        with pytest.raises(EmulationError, match="does not use"):
+            arrivals_sweep({
+                "kind": "periodic", "rate_per_ms": 1.0, "seed": 3,
+                "apps": {"wifi_tx": 1.0},
+            })
+
+    def test_spec_rejects_bad_nested_arrival_spec(self):
+        with pytest.raises(ReproError, match="invalid arrivals workload"):
+            SweepGrid.from_dict({
+                "configs": ["A"], "policies": ["p"],
+                "workloads": [{"kind": "arrivals",
+                               "spec": {"kind": "warp"}}],
+            })
+
+    def test_execute_cell_arrivals_end_to_end(self):
+        # An open-loop cell runs through the ordinary worker path; both
+        # iterations replay the same deterministic arrivals (the cached
+        # stream is rebuilt as a fresh generator per run).
+        desc = arrivals_sweep({
+            "kind": "poisson", "rate_per_ms": 1.0, "seed": 5,
+            "apps": {"wifi_tx": 1.0, "wifi_rx": 1.0}, "max_apps": 4,
+        })
+        cell = SweepCell(config="2C+1F", policy="cprank", workload=desc,
+                         iterations=2)
+        metrics = runner_mod.execute_cell(cell.to_dict())
+        assert metrics["apps_injected"] == 4
+        assert metrics["apps_completed"] == 4
+        assert len(metrics["makespan_us_runs"]) == 2
+        assert metrics["makespan_ms"] > 0
+
+    def test_arrivals_label_and_cell_id(self):
+        desc = arrivals_sweep({
+            "kind": "poisson", "rate_per_ms": 2.0,
+            "apps": {"wifi_tx": 1.0}, "max_apps": 5, "label": "serve",
+        })
+        cell = SweepCell(config="2C+1F", policy="frfs", workload=desc)
+        assert "arrivals:serve" in cell.label
+        other = arrivals_sweep({
+            "kind": "poisson", "rate_per_ms": 3.0,
+            "apps": {"wifi_tx": 1.0}, "max_apps": 5, "label": "serve",
+        })
+        assert cell.cell_id != SweepCell(
+            config="2C+1F", policy="frfs", workload=other
+        ).cell_id
 
 
 class TestCache:

@@ -54,3 +54,21 @@ def test_auto_conversion(capsys):
     assert "dft" in out and "idft" in out
     assert "correct" in out
     assert "speedup" in out
+
+
+def test_lookahead_frontier_sweep_spec_parses():
+    # The committed sweep spec (source of artifacts/lookahead_sweep.txt)
+    # must stay expandable: every policy known, every workload kind valid.
+    import json
+
+    from repro.dse import SweepGrid
+    from repro.runtime.schedulers import available_policies
+
+    spec = json.loads(
+        (EXAMPLES / "sweeps" / "lookahead_frontier.json").read_text()
+    )
+    grid = SweepGrid.from_dict(spec)
+    assert grid.size == len(grid.expand()) == 40
+    known = set(available_policies())
+    assert set(grid.policies) <= known
+    assert {w["kind"] for w in grid.workloads} == {"validation", "arrivals"}

@@ -24,7 +24,7 @@ from tests.test_backends import diamond_emulation
 
 ALL_POLICIES = (
     "frfs", "met", "eft", "heft", "random", "met_power",
-    "frfs_reserve", "eft_reserve",
+    "frfs_reserve", "eft_reserve", "cprank", "rollout",
 )
 
 
@@ -115,6 +115,38 @@ class TestVirtualFaults:
         assert stats.apps_completed >= 1, policy
         kinds = {e["kind"] for e in stats.fault_timeline}
         assert "pe_failure" in kinds
+
+    @pytest.mark.parametrize("policy", ("heft", "cprank", "rollout"))
+    def test_requeued_task_survives_pending_tombstone(self, policy):
+        """Regression for the ready-list tombstone-resurrection stall.
+
+        Rank-ordered policies dispatch from mid-list, leaving a lazy
+        tombstone in the ready list; when the chosen PE fails before the
+        task runs, the orphan is re-added while its tombstone is still
+        pending.  The stale tombstone used to make the re-added entry
+        invisible to iteration (while ``len()`` still counted it), so the
+        run stalled with idle PEs and one un-schedulable READY task.
+        This exact scenario (fft0 dies at t=2000µs under heft, seed 11)
+        reproduced the loss; it must now complete every application.
+        """
+        from repro.hardware.platform import zcu102
+
+        spec = {"pe_failures": [{"pe": "fft0", "at_us": 2000.0}]}
+        emu = Emulation(
+            platform=zcu102(), config="3C+2F", policy=policy,
+            jitter=True, seed=11, faults=FaultSpec.from_dict(spec),
+        )
+        result = emu.run(
+            validation_workload(
+                {"range_detection": 2, "wifi_tx": 2, "pulse_doppler": 1}
+            ),
+            VirtualBackend(),
+        )
+        stats = result.stats
+        stats.assert_all_complete()
+        assert stats.apps_completed == 5
+        assert stats.apps_degraded == 0
+        assert stats.pe_failures == 1
 
     def test_failed_pe_runs_nothing_after_failure(self):
         spec = {"pe_failures": [{"pe": "cpu1", "at_us": 50.0}]}

@@ -1,0 +1,341 @@
+"""Tests for the lookahead policies: cprank (incremental critical-path
+ranks) and rollout (dispatch-now-vs-defer forward simulation).
+
+The centerpiece is the rank-cache oracle test: after every event in a
+dispatch/completion/failure sequence, each entry in cprank's incremental
+cache must equal — float for float — a full recomputation of the upward
+ranks over the remaining DAG, and every READY task must have an entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appmodel.builder import GraphBuilder
+from repro.appmodel.dag import PlatformBinding
+from repro.appmodel.instance import ApplicationInstance, TaskState
+from repro.runtime.schedulers import (
+    Assignment,
+    available_policies,
+    make_scheduler,
+)
+from repro.runtime.schedulers.cprank import CPRankScheduler
+from repro.runtime.schedulers.rollout import RolloutScheduler
+from tests.test_schedulers import FixedOracle, build_app, make_handlers
+
+
+def build_pipeline_app():
+    """Diamond with a tail: A -> {B, C} -> D -> E; B is fft-capable."""
+    b = GraphBuilder("pipe_app", "pipe.so")
+    b.scalar("n", 1)
+    b.node("A", args=["n"], cpu="ka")
+    b.node("B", args=["n"], after=["A"], platforms=[
+        PlatformBinding(name="cpu", runfunc="kb"),
+        PlatformBinding(name="fft", runfunc="kb_accel"),
+    ])
+    b.node("C", args=["n"], after=["A"], cpu="kc")
+    b.node("D", args=["n"], after=["B", "C"], cpu="kd")
+    b.node("E", args=["n"], after=["D"], cpu="ke")
+    graph = b.build()
+    return ApplicationInstance(graph, 0, 0.0, materialize=False)
+
+
+PIPE_TIMES = {
+    ("ka", "cpu"): 10.0, ("kb", "cpu"): 40.0, ("kb_accel", "fft"): 4.0,
+    ("kc", "cpu"): 25.0, ("kd", "cpu"): 30.0, ("ke", "cpu"): 15.0,
+}
+
+
+def reference_ranks(sched, app, handlers):
+    """Full upward-rank recomputation over the remaining (non-complete)
+    DAG — the oracle the incremental cache must match exactly."""
+    graph = app.graph
+    costs = sched._live_costs(graph, handlers)
+    tasks = app.tasks
+    ranks: dict[str, float] = {}
+    for name in reversed(graph.topological_order()):
+        if tasks[name].state is TaskState.COMPLETE:
+            continue
+        node = graph.nodes[name]
+        ranks[name] = costs[name] + max(
+            (ranks[s] for s in node.successors if s in ranks), default=0.0
+        )
+    return ranks
+
+
+def assert_cache_matches_oracle(sched, app, handlers):
+    entry = sched._ranks.get(id(app))
+    assert entry is not None, "rank cache entry missing for live app"
+    ranks = entry[1]
+    ref = reference_ranks(sched, app, handlers)
+    # every cached value is exactly the full-recompute value ...
+    for name, value in ranks.items():
+        assert value == ref[name], (
+            f"rank[{name}] drifted: cached {value!r} != full {ref[name]!r}"
+        )
+    # ... and every schedulable task has a cached rank
+    for t in app.tasks.values():
+        if t.state is TaskState.READY:
+            assert t.name in ranks, f"READY task {t.name} missing from cache"
+
+
+def _dispatch(sched, task, handler, now):
+    """Unit-test dispatch: stamp the task and feed the WM event hook."""
+    binding = task.node.binding_for_any(handler.accepted_platforms)
+    task.mark_dispatched(now, handler, binding)
+    sched.notify_dispatch([Assignment(task, handler)], now)
+
+
+def _complete(sched, task, now):
+    """Unit-test completion: run + complete + release successors."""
+    task.mark_running(now)
+    task.mark_complete(now)
+    newly = task.app.on_task_complete(task, now)
+    sched.notify_completion(task, now)
+    return newly
+
+
+class TestCPRankCacheOracle:
+    def test_incremental_equals_full_recompute_through_lifecycle(self):
+        app = build_pipeline_app()
+        handlers = make_handlers(["cpu", "cpu", "fft"])
+        sched = CPRankScheduler(FixedOracle(dict(PIPE_TIMES)))
+        a = app.tasks["A"]
+        a.mark_ready(0.0)
+
+        # build on first pass
+        out = sched.schedule([a], handlers, 0.0)
+        assert out and out[0].task is a
+        assert_cache_matches_oracle(sched, app, handlers)
+
+        # dispatch prunes the node but leaves the rest exact
+        sched.notify_dispatch(out, 0.0)
+        a.mark_dispatched(0.0, out[0].handler, a.node.binding_for_any(
+            out[0].handler.accepted_platforms))
+        assert "A" not in sched._ranks[id(app)][1]
+        assert_cache_matches_oracle(sched, app, handlers)
+
+        # completion releases B and C; cache still exact
+        ready = _complete(sched, a, 10.0)
+        assert {t.name for t in ready} == {"B", "C"}
+        assert_cache_matches_oracle(sched, app, handlers)
+
+        # dispatch B onto the fft PE, then fail that PE: the repair pass
+        # must rebuild B's entry (orphan requeue) and refresh every rank
+        # whose live-mean cost changed, exactly.
+        fft = handlers[2]
+        _dispatch(sched, app.tasks["B"], fft, 10.0)
+        fft.assign(app.tasks["B"])  # in flight when the failure hits
+        orphans = fft.mark_failed(12.0)
+        assert orphans == [app.tasks["B"]]
+        sched.notify_pe_failure(fft, 12.0)
+        for t in orphans:
+            t.mark_requeued(12.0, charge=False)
+        assert_cache_matches_oracle(sched, app, handlers)
+        # B supports the dead platform: its entry is back for requeue
+        assert "B" in sched._ranks[id(app)][1]
+
+        # ranks did actually change: B's live-mean cost lost the 4µs fft
+        # column (mean(40, 40, 4) -> mean(40, 40))
+        ref = reference_ranks(sched, app, handlers)
+        assert ref["B"] == pytest.approx(40.0 + 30.0 + 15.0)
+
+        # drive the app to completion; the entry is evicted at the end
+        for name in ("B", "C", "D", "E"):
+            t = app.tasks[name]
+            if t.state is TaskState.READY:
+                _dispatch(sched, t, handlers[0], 20.0)
+            newly = _complete(sched, t, 30.0)
+            for n in newly:
+                _dispatch(sched, n, handlers[0], 30.0)
+            if not t.app.is_complete:
+                assert_cache_matches_oracle(sched, app, handlers)
+        assert id(app) not in sched._ranks
+
+    def test_lazy_single_node_repair_after_prune(self):
+        # A task requeued after its entry was pruned at dispatch (retry
+        # exhaustion on a live PE) gets a lazily recomputed, exact rank.
+        app = build_pipeline_app()
+        handlers = make_handlers(["cpu", "cpu"])
+        sched = CPRankScheduler(FixedOracle(dict(PIPE_TIMES)))
+        a = app.tasks["A"]
+        a.mark_ready(0.0)
+        sched.schedule([a], handlers, 0.0)
+        _dispatch(sched, a, handlers[0], 0.0)
+        assert "A" not in sched._ranks[id(app)][1]
+        a.mark_requeued(1.0, charge=True)  # transient retries exhausted
+        rank = sched._rank_of(a, handlers)
+        assert rank == reference_ranks(sched, app, handlers)["A"]
+
+    def test_completion_of_final_task_evicts_entry(self):
+        tasks = build_app(1)
+        app = tasks[0].app
+        handlers = make_handlers(["cpu"])
+        sched = CPRankScheduler(FixedOracle({("k0", "cpu"): 5.0}))
+        sched.schedule(tasks, handlers, 0.0)
+        assert id(app) in sched._ranks
+        _dispatch(sched, tasks[0], handlers[0], 0.0)
+        _complete(sched, tasks[0], 5.0)
+        assert id(app) not in sched._ranks
+
+
+class TestCPRankScheduling:
+    def test_prioritizes_critical_path(self):
+        # chain X -> Y plus cheap independent Z: X outranks Z
+        b = GraphBuilder("cp_app", "cp.so")
+        b.scalar("n", 1)
+        b.node("X", args=["n"], cpu="kx")
+        b.node("Y", args=["n"], cpu="ky", after=["X"])
+        b.node("Z", args=["n"], cpu="kz")
+        app = ApplicationInstance(b.build(), 0, 0.0, materialize=False)
+        x, z = app.tasks["X"], app.tasks["Z"]
+        x.mark_ready(0.0)
+        z.mark_ready(0.0)
+        handlers = make_handlers(["cpu"])
+        oracle = FixedOracle({
+            ("kx", "cpu"): 10.0, ("ky", "cpu"): 50.0, ("kz", "cpu"): 10.0,
+        })
+        out = CPRankScheduler(oracle).schedule([z, x], handlers, 0.0)
+        assert out[0].task.name == "X"
+
+    def test_failed_pe_never_assigned(self):
+        tasks = build_app(2, fft_capable={0, 1})
+        handlers = make_handlers(["cpu", "fft"])
+        handlers[1].mark_failed(0.0)
+        oracle = FixedOracle({
+            ("k0", "cpu"): 50.0, ("k0_accel", "fft"): 1.0,
+            ("k1", "cpu"): 50.0, ("k1_accel", "fft"): 1.0,
+        })
+        out = CPRankScheduler(oracle).schedule(tasks, handlers, 0.0)
+        assert out
+        assert all(a.handler.pe_id == 0 for a in out)
+
+    def test_ranks_isolated_per_instance(self):
+        # two instances of the same archetype keep separate caches
+        app1 = build_pipeline_app()
+        app2 = build_pipeline_app()
+        handlers = make_handlers(["cpu"])
+        sched = CPRankScheduler(FixedOracle(dict(PIPE_TIMES)))
+        t1, t2 = app1.tasks["A"], app2.tasks["A"]
+        t1.mark_ready(0.0)
+        t2.mark_ready(0.0)
+        sched.schedule([t1, t2], handlers, 0.0)
+        assert id(app1) in sched._ranks and id(app2) in sched._ranks
+        sched.notify_dispatch([Assignment(t1, handlers[0])], 0.0)
+        assert "A" not in sched._ranks[id(app1)][1]
+        assert "A" in sched._ranks[id(app2)][1]
+
+
+class TestRollout:
+    def test_dispatches_when_nothing_in_flight(self):
+        # Work-conserving: with no pending completion to wait for, the
+        # only candidate wins even on a slow PE.
+        tasks = build_app(1)
+        handlers = make_handlers(["cpu"])
+        oracle = FixedOracle({("k0", "cpu"): 100.0})
+        out = RolloutScheduler(oracle).schedule(tasks, handlers, 0.0)
+        assert len(out) == 1 and out[0].handler.pe_id == 0
+
+    def test_defers_for_imminent_fast_pe(self):
+        # T0 costs 100 on the idle cpu but 10 on the fft that frees at
+        # t=5: the defer rollout (makespan 15) beats dispatch-now (100),
+        # so the pass holds the cpu idle and returns no assignment.
+        tasks = build_app(2, fft_capable={0, 1})
+        handlers = make_handlers(["cpu", "fft"])
+        oracle = FixedOracle({
+            ("k0", "cpu"): 100.0, ("k0_accel", "fft"): 10.0,
+            ("k1_accel", "fft"): 5.0,
+        })
+        sched = RolloutScheduler(oracle)
+        busy = tasks[1]
+        handlers[1].assign(busy)  # fft is RUN until ~t=5
+        handlers[1].estimated_free_time = 5.0
+        sched.notify_dispatch([Assignment(busy, handlers[1])], 0.0)
+        out = sched.schedule([tasks[0]], handlers, 0.0)
+        assert out == []
+
+    def test_dispatches_when_now_beats_defer(self):
+        # Same shape, but T0 is fast on the cpu: dispatch-now (10) beats
+        # waiting for the fft (5 + 8 = 13).
+        tasks = build_app(2, fft_capable={0, 1})
+        handlers = make_handlers(["cpu", "fft"])
+        oracle = FixedOracle({
+            ("k0", "cpu"): 10.0, ("k0_accel", "fft"): 8.0,
+            ("k1_accel", "fft"): 5.0,
+        })
+        sched = RolloutScheduler(oracle)
+        busy = tasks[1]
+        handlers[1].assign(busy)
+        handlers[1].estimated_free_time = 5.0
+        sched.notify_dispatch([Assignment(busy, handlers[1])], 0.0)
+        out = sched.schedule([tasks[0]], handlers, 0.0)
+        assert len(out) == 1 and out[0].handler.pe_id == 0
+
+    def test_failed_pe_never_assigned(self):
+        tasks = build_app(2, fft_capable={0, 1})
+        handlers = make_handlers(["cpu", "fft"])
+        handlers[1].mark_failed(0.0)
+        oracle = FixedOracle({
+            ("k0", "cpu"): 50.0, ("k0_accel", "fft"): 1.0,
+            ("k1", "cpu"): 50.0, ("k1_accel", "fft"): 1.0,
+        })
+        out = RolloutScheduler(oracle).schedule(tasks, handlers, 0.0)
+        assert out
+        assert all(a.handler.pe_id == 0 for a in out)
+
+    def test_scan_limit_bounds_candidates(self):
+        tasks = build_app(4)
+        handlers = make_handlers(["cpu", "cpu"])
+        oracle = FixedOracle({(f"k{i}", "cpu"): 10.0 for i in range(4)})
+        out = RolloutScheduler(oracle, scan_limit=1).schedule(
+            tasks, handlers, 0.0
+        )
+        # only the scanned prefix (T0) is eligible this pass
+        assert [a.task.name for a in out] == ["T0"]
+
+    def test_completion_and_failure_clear_inflight(self):
+        tasks = build_app(2, fft_capable={0, 1})
+        handlers = make_handlers(["cpu", "fft"])
+        oracle = FixedOracle({("k0", "cpu"): 10.0, ("k1_accel", "fft"): 5.0})
+        sched = RolloutScheduler(oracle)
+        sched.notify_dispatch(
+            [Assignment(tasks[0], handlers[0]),
+             Assignment(tasks[1], handlers[1])], 0.0,
+        )
+        assert len(sched._inflight) == 2
+        sched.notify_completion(tasks[0], 10.0)
+        assert len(sched._inflight) == 1
+        handlers[1].mark_failed(11.0)
+        sched.notify_pe_failure(handlers[1], 11.0)
+        assert not sched._inflight
+
+    def test_knobs_clamped(self):
+        sched = RolloutScheduler(FixedOracle({}), top_k=0,
+                                 horizon_tasks=-3, scan_limit=0)
+        assert sched.top_k == 1
+        assert sched.horizon_tasks == 1
+        assert sched.scan_limit == 1
+
+
+class TestRegistryIntegration:
+    def test_policies_registered(self):
+        names = available_policies()
+        assert "cprank" in names and "rollout" in names
+        assert make_scheduler("cprank").name == "cprank"
+        assert make_scheduler("rollout").name == "rollout"
+
+    @pytest.mark.parametrize("name", ["cprank+edf", "rollout+edf"])
+    def test_edf_wrapper_forwards_events(self, name):
+        oracle = FixedOracle({("k0", "cpu"): 5.0})
+        sched = make_scheduler(name, oracle)
+        assert sched.wants_events is True
+        tasks = build_app(1)
+        handlers = make_handlers(["cpu"])
+        sched.notify_dispatch([Assignment(tasks[0], handlers[0])], 0.0)
+        inner = sched.inner
+        if isinstance(inner, RolloutScheduler):
+            assert len(inner._inflight) == 1
+        sched.notify_completion(tasks[0], 5.0)
+        if isinstance(inner, RolloutScheduler):
+            assert not inner._inflight
+        sched.notify_pe_failure(handlers[0], 6.0)

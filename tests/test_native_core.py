@@ -32,7 +32,7 @@ needs_ext = pytest.mark.skipif(
 
 ALL_POLICIES = (
     "frfs", "met", "eft", "heft", "random", "met_power",
-    "frfs_reserve", "eft_reserve",
+    "frfs_reserve", "eft_reserve", "cprank", "rollout",
 )
 
 

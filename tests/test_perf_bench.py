@@ -48,6 +48,20 @@ class TestScenarios:
         assert result["wall_s"] > 0.0
         assert result["makespan_ms"] > 0.0
 
+    def test_lookahead_scenarios_opt_in(self):
+        from repro.perf import all_scenario_names
+
+        names = all_scenario_names()
+        assert "lookahead-cprank" in names and "lookahead-rollout" in names
+        # opt-in by name: the default suite is unchanged
+        assert "lookahead-cprank" not in scenario_names()
+
+    def test_lookahead_scenarios_run_quick(self):
+        cp = get_scenario("lookahead-cprank").run_once(quick=True)
+        assert cp["apps"] == 15 and cp["events"] > 0
+        ro = get_scenario("lookahead-rollout").run_once(quick=True)
+        assert ro["apps_injected"] > 0 and ro["apps"] == ro["apps_injected"]
+
 
 class TestHarness:
     def test_run_scenario_entry(self):

@@ -50,7 +50,7 @@ needs_ext = pytest.mark.skipif(
 
 ALL_POLICIES = (
     "frfs", "met", "eft", "heft", "random", "met_power",
-    "frfs_reserve", "eft_reserve",
+    "frfs_reserve", "eft_reserve", "cprank", "rollout",
 )
 
 SDR_MIX = {"range_detection": 2.0, "wifi_tx": 1.0, "wifi_rx": 1.0}
@@ -266,6 +266,51 @@ class TestTraceStream:
         with pytest.raises(EmulationError, match="cannot open arrival trace"):
             list(TraceStream("/nonexistent/trace.csv"))
 
+    def test_duration_bound_stops_replay(self, tmp_path):
+        # Regression: ArrivalSpec.build(duration_ms=...) used to be
+        # silently ignored for traces; the stream now takes the bound.
+        trace = tmp_path / "t.csv"
+        trace.write_text("0,wifi_tx\n500,wifi_rx\n1000,wifi_tx\n1500,wifi_rx\n")
+        arrivals = list(TraceStream(str(trace), duration_ms=1.0))
+        # arrivals at/past the bound end the stream (same >= boundary as
+        # the generated sources)
+        assert arrivals == [(0.0, "wifi_tx"), (500.0, "wifi_rx")]
+
+    def test_duration_bound_applies_in_scaled_time(self, tmp_path):
+        trace = tmp_path / "t.csv"
+        trace.write_text("0,wifi_tx\n500,wifi_rx\n1000,wifi_tx\n1500,wifi_rx\n")
+        # time_scale=2 halves the timestamps, so the 1ms window now
+        # admits the row stamped 1500µs (replayed at 750µs)
+        arrivals = list(
+            TraceStream(str(trace), time_scale=2.0, duration_ms=1.0)
+        )
+        assert arrivals == [
+            (0.0, "wifi_tx"), (250.0, "wifi_rx"), (500.0, "wifi_tx"),
+            (750.0, "wifi_rx"),
+        ]
+
+    def test_header_after_comments_and_blanks(self, tmp_path):
+        # Regression: the header was only recognized on physical line 1,
+        # so a leading comment block made the header row a parse error.
+        trace = tmp_path / "t.csv"
+        trace.write_text(
+            "# exported 2026-08-01\n"
+            "\n"
+            "t_us,app\n"
+            "0,wifi_tx\n"
+            "250,wifi_rx\n"
+        )
+        assert list(TraceStream(str(trace))) == [
+            (0.0, "wifi_tx"), (250.0, "wifi_rx"),
+        ]
+
+    def test_second_header_row_is_an_error(self, tmp_path):
+        # only the first non-skipped row may be a header
+        trace = tmp_path / "t.csv"
+        trace.write_text("t_us,app\n0,wifi_tx\nt_us,app\n")
+        with pytest.raises(EmulationError, match="line 3"):
+            list(TraceStream(str(trace)))
+
 
 class TestStreamContract:
     def test_non_pair_rejected_with_index(self):
@@ -339,7 +384,8 @@ class TestArrivalSpec:
                    "rate_per_ms": 1.0, "duration_ms": 30.0, "seed": 2,
                    "bursts": [{"start_ms": 5.0, "duration_ms": 5.0,
                                "rate_per_ms": 8.0}]},
-        "trace": {"kind": "trace", "path": "some/trace.csv", "max_apps": 10},
+        "trace": {"kind": "trace", "path": "some/trace.csv",
+                  "time_scale": 2.0, "max_apps": 10},
     }
 
     @pytest.mark.parametrize("kind", sorted(CASES))
@@ -372,6 +418,50 @@ class TestArrivalSpec:
     def test_trace_requires_path(self):
         with pytest.raises(EmulationError, match="requires path"):
             ArrivalSpec.from_dict({"kind": "trace"}).build()
+
+    @pytest.mark.parametrize(
+        "doc, stray",
+        [
+            # Regression: these fields used to be silently ignored.
+            ({"kind": "periodic", "apps": {"wifi_tx": 1.0},
+              "rate_per_ms": 1.0, "max_apps": 5, "seed": 1}, "seed"),
+            ({"kind": "trace", "path": "t.csv",
+              "rate_per_ms": 2.0}, "rate_per_ms"),
+            ({"kind": "trace", "path": "t.csv",
+              "apps": {"wifi_tx": 1.0}}, "apps"),
+            ({"kind": "poisson", "apps": {"wifi_tx": 1.0},
+              "rate_per_ms": 1.0, "duration_ms": 5.0,
+              "bursts": [[1.0, 2.0, 3.0]]}, "bursts"),
+            ({"kind": "poisson", "apps": {"wifi_tx": 1.0},
+              "rate_per_ms": 1.0, "duration_ms": 5.0,
+              "time_scale": 2.0}, "time_scale"),
+        ],
+    )
+    def test_fields_foreign_to_kind_rejected(self, doc, stray):
+        with pytest.raises(EmulationError, match=f"does not use.*{stray}"):
+            ArrivalSpec.from_dict(doc)
+
+    def test_trace_duration_bound_from_spec(self, tmp_path):
+        # Regression: build(duration_ms=...) never reached TraceStream.
+        trace = tmp_path / "t.csv"
+        trace.write_text("0,wifi_tx\n900,wifi_rx\n2500,wifi_tx\n")
+        spec = ArrivalSpec.from_dict({"kind": "trace", "path": str(trace)})
+        stream = spec.build(duration_ms=2.0)
+        assert stream.duration_us == pytest.approx(2000.0)
+        assert list(stream) == [(0.0, "wifi_tx"), (900.0, "wifi_rx")]
+
+    def test_trace_rate_scale_composes_with_time_scale(self, tmp_path):
+        # --rate-scale multiplies the spec's own time_scale instead of
+        # clobbering it: a 2x-compressed trace pushed 3x harder replays
+        # 6x compressed.
+        trace = tmp_path / "t.csv"
+        trace.write_text("0,wifi_tx\n600,wifi_rx\n")
+        spec = ArrivalSpec.from_dict(
+            {"kind": "trace", "path": str(trace), "time_scale": 2.0}
+        )
+        stream = spec.build(rate_scale=3.0)
+        assert stream.time_scale == pytest.approx(6.0)
+        assert list(stream) == [(0.0, "wifi_tx"), (100.0, "wifi_rx")]
 
     def test_from_json_file(self, tmp_path):
         path = tmp_path / "spec.json"
@@ -464,6 +554,29 @@ class TestP2Quantile:
         for i in range(42):
             est.add(float(i))
         assert est.count == 42
+
+    @pytest.mark.parametrize("p", [0.50, 0.95, 0.99])
+    def test_all_equal_stream(self, p):
+        # Duplicate-heavy degenerate case: every marker height collapses
+        # onto the same value, and the parabolic update must not drift
+        # off it (division-by-zero / NaN hazard in naive P² codes).
+        est = P2Quantile(p)
+        for _ in range(1000):
+            est.add(3.25)
+        assert est.value() == 3.25
+
+    @pytest.mark.parametrize("p", [0.50, 0.95])
+    def test_two_value_stream(self, p):
+        # Long runs of ties around the marker positions: the estimate
+        # must stay within the sample range and near the exact quantile.
+        rng = np.random.default_rng(77)
+        data = rng.choice([10.0, 20.0], size=5000, p=[0.7, 0.3])
+        est = P2Quantile(p)
+        for x in data:
+            est.add(x)
+        assert 10.0 <= est.value() <= 20.0
+        exact = float(np.percentile(data, p * 100.0))
+        assert est.value() == pytest.approx(exact, abs=1.0)
 
 
 # -- streaming vs materialized: bit-identity -------------------------------------
@@ -687,6 +800,44 @@ class TestServingCLI:
         captured = capsys.readouterr()
         json.loads(captured.out)  # stdout stays machine-readable
         assert "per-task records are not retained" in captured.err
+
+    def _trace_spec_file(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "# tiny replay trace\n"
+            "t_us,app\n"
+            "0,wifi_tx\n400,wifi_rx\n800,wifi_tx\n1200,wifi_rx\n"
+            "1600,wifi_tx\n2600,wifi_rx\n"
+        )
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"kind": "trace", "path": str(trace)}))
+        return str(path)
+
+    def test_run_trace_replay(self, tmp_path, capsys):
+        rc = main(["run", "--arrivals", self._trace_spec_file(tmp_path)])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["streaming"] is True
+        assert summary["apps_injected"] == 6
+
+    def test_run_trace_duration_override(self, tmp_path, capsys):
+        # Regression: --duration-ms was silently dropped for trace specs;
+        # the 2600µs arrival must now fall outside the 2ms window.
+        rc = main(["run", "--arrivals", self._trace_spec_file(tmp_path),
+                   "--duration-ms", "2.0"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["apps_injected"] == 5
+        assert summary["apps_completed"] == 5
+
+    def test_run_trace_rate_scale_compresses(self, tmp_path, capsys):
+        # 2x rate-scale halves replay timestamps, pulling 2600µs into a
+        # 2ms window.
+        rc = main(["run", "--arrivals", self._trace_spec_file(tmp_path),
+                   "--rate-scale", "2.0", "--duration-ms", "2.0"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["apps_injected"] == 6
 
     def test_bench_list_includes_serving(self, capsys):
         assert main(["bench", "--list"]) == 0

@@ -6,12 +6,23 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import _native
 from repro.appmodel.instance import ApplicationInstance, TaskState
 from repro.common.errors import EmulationError
 from repro.runtime.schedulers import FRFSScheduler
 from repro.runtime.stats import EmulationStats
 from repro.runtime.workload_manager import ReadyList, WorkloadManagerCore
 from tests.conftest import make_diamond_graph, make_handlers
+
+
+def _readylist_impls():
+    """Both ReadyList implementations: the pure class and, when the
+    extension is built, its C twin (same container contract)."""
+    impls = [ReadyList]
+    ext = _native.load()
+    if ext is not None:
+        impls.append(ext.ReadyList)
+    return impls
 
 
 def make_core(zcu, config="2C+0F", arrivals=(0.0,)):
@@ -104,6 +115,43 @@ class TestReadyList:
         assert not rl._dead
         assert list(rl) == items[2:]
 
+    @pytest.mark.parametrize("make", _readylist_impls())
+    def test_reextend_while_tombstoned(self, make):
+        """Regression: re-adding a task whose mid-list tombstone is still
+        pending must make it visible again.
+
+        A task dispatched from mid-list (rank-ordered policies) leaves a
+        tombstone; when the PE fails before the task runs, the WM re-adds
+        the *same object*.  The stale tombstone used to swallow the new
+        entry — iteration skipped it while ``len()`` counted it, so the
+        task was silently lost and fault runs stalled with idle PEs.
+        """
+        rl = make()
+        items = [[i] for i in range(5)]
+        rl.extend(items)
+        rl.remove_ids({id(items[2])})  # mid-list: stays as a tombstone
+        rl.extend([items[2]])          # fault requeue of the same object
+        assert list(rl) == [items[0], items[1], items[3], items[4], items[2]]
+        assert len(rl) == 5
+        assert items[2] in rl
+
+    @pytest.mark.parametrize("make", _readylist_impls())
+    def test_reextend_sees_single_occurrence(self, make):
+        # The stale physical occurrence must not come back as a duplicate:
+        # a policy iterating the list would otherwise dispatch the task to
+        # two PEs in one pass.
+        rl = make()
+        items = [[i] for i in range(4)]
+        rl.extend(items)
+        rl.remove_ids({id(items[1]), id(items[2])})
+        rl.extend([items[2], items[1]])
+        out = list(rl)
+        assert out == [items[0], items[3], items[2], items[1]]
+        assert len(out) == len({id(x) for x in out})
+        # and removal still works on the re-added entries
+        rl.remove_ids({id(items[2])})
+        assert list(rl) == [items[0], items[3], items[1]]
+
     @given(st.lists(st.integers(), min_size=0, max_size=60), st.data())
     @settings(max_examples=50, deadline=None)
     def test_model_equivalence_property(self, values, data):
@@ -126,6 +174,44 @@ class TestReadyList:
             rl.remove_ids({id(v) for v in victims})
             victim_ids = {id(v) for v in victims}
             model = [v for v in model if id(v) not in victim_ids]
+            assert list(rl) == model
+            assert len(rl) == len(model)
+
+    @given(st.lists(st.integers(), min_size=0, max_size=40), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_model_equivalence_with_requeues(self, values, data):
+        """Like the property above, but each round also re-adds a few
+        previously removed items — the fault-requeue pattern that used to
+        resurrect stale tombstones (see test_reextend_while_tombstoned)."""
+        boxed = [[v] for v in values]
+        rl = ReadyList()
+        rl.extend(boxed)
+        model = list(boxed)
+        removed: list[list[int]] = []
+        n_rounds = data.draw(st.integers(min_value=0, max_value=5))
+        for _ in range(n_rounds):
+            if model:
+                k = data.draw(st.integers(min_value=0, max_value=len(model)))
+                victims = data.draw(
+                    st.lists(st.sampled_from(model), max_size=k, unique_by=id)
+                )
+                victim_ids = {id(v) for v in victims}
+                rl.remove_ids(victim_ids)
+                model = [v for v in model if id(v) not in victim_ids]
+                removed.extend(victims)
+            if removed:
+                readd = data.draw(
+                    st.lists(
+                        st.sampled_from(removed), max_size=3, unique_by=id
+                    )
+                )
+                if readd:
+                    rl.extend(readd)
+                    model.extend(readd)
+                    readd_ids = {id(r) for r in readd}
+                    removed = [
+                        r for r in removed if id(r) not in readd_ids
+                    ]
             assert list(rl) == model
             assert len(rl) == len(model)
 
