@@ -335,8 +335,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.status:
         from repro.dse.distrib import campaign_snapshot, render_status
 
-        out_dir = args.out or f".dssoc_campaigns/{_sweep_grid(args).grid_id}"
-        snap = campaign_snapshot(out_dir)
+        if args.server:
+            # Ask the running server (authoritative, and immune to
+            # cross-host clock skew: it stamps heartbeats on receipt).
+            from repro.dse.distrib.net import NetTransport
+
+            transport = NetTransport(args.server, worker_id="status")
+            try:
+                snap = transport.status_snapshot()
+            finally:
+                transport.close()
+        else:
+            out_dir = args.out or f".dssoc_campaigns/{_sweep_grid(args).grid_id}"
+            snap = campaign_snapshot(out_dir)
         print(json.dumps(snap, indent=2) if args.json else render_status(snap))
         return EXIT_OK
 
@@ -357,7 +368,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # SIGTERM behaves like Ctrl-C: the campaign journals in-flight cells as
     # interrupted (so --resume re-runs only those) before the interrupt
     # propagates to main(), which exits 130.
-    if args.workers is not None:
+    if args.server:
+        from repro.dse.distrib import (
+            DEFAULT_LEASE_TTL_S,
+            run_networked_campaign,
+            status_line,
+        )
+
+        def net_status_fn(snap) -> None:
+            print(status_line(snap), file=sys.stderr)
+
+        with _sigterm_as_interrupt():
+            campaign = run_networked_campaign(
+                grid,
+                out_dir=out_dir,
+                server=args.server,
+                workers=args.workers if args.workers is not None else 1,
+                resume=args.resume,
+                force=args.force,
+                retries=args.retries,
+                timeout_s=args.timeout,
+                lease_ttl_s=(args.lease_ttl if args.lease_ttl is not None
+                             else DEFAULT_LEASE_TTL_S),
+                poll_s=args.poll,
+                progress=progress,
+                status_fn=None if quiet else net_status_fn,
+            )
+    elif args.workers is not None:
         from repro.dse.distrib import (
             DEFAULT_LEASE_TTL_S,
             run_distributed_campaign,
@@ -421,35 +458,92 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep_worker(args: argparse.Namespace) -> int:
-    """Attach one worker process to a distributed campaign directory.
+    """Attach one worker process to a distributed campaign.
 
-    Spawned by ``sweep --workers N`` on the campaign host, or started by
-    hand on any machine mounting the campaign directory.  SIGINT/SIGTERM
-    drain gracefully: the in-flight cell completes (and is journaled)
-    before the worker exits 130.
+    Spawned by ``sweep --workers N`` on the campaign host, started by
+    hand on any machine mounting the campaign directory (``--out DIR``),
+    or attached over TCP to a ``sweep-server`` (``--server HOST:PORT`` —
+    no shared mount needed).  SIGINT/SIGTERM drain gracefully: the
+    in-flight cell completes (and is journaled) before the worker exits
+    130.  A network worker that exhausts its reconnect budget exits 130
+    too (``server_lost``), leaving its local spool intact for the next
+    attach.
     """
     from repro.dse.distrib import run_worker
 
     _apply_core(args)
+    if not args.out and not args.server:
+        print("sweep-worker needs --out DIR or --server HOST:PORT",
+              file=sys.stderr)
+        return EXIT_USAGE
     controller = QoSController(None, wall_budget_s=args.wall_budget)
+
+    transport = None
+    if args.server:
+        from repro.dse.distrib.net import NetTransport
+        from repro.dse.distrib.queue import default_worker_id
+
+        transport = NetTransport(
+            args.server,
+            worker_id=args.worker_id or default_worker_id(),
+            spool_dir=args.spool or None,
+        )
 
     def log(msg: str) -> None:
         print(msg, file=sys.stderr)
 
     with _graceful_signals(controller):
         summary = run_worker(
-            args.out,
+            args.out or None,
             worker_id=args.worker_id or None,
+            transport=transport,
             lease_ttl_s=args.lease_ttl,
             poll_s=args.poll,
             oneshot=args.oneshot,
             max_cells=args.max_cells,
             controller=controller,
+            reconnect_budget_s=args.reconnect_budget,
             log=log,
         )
     print(json.dumps(summary.to_dict(), indent=2))
-    if summary.stop_reason in ("SIGINT", "SIGTERM"):
+    if summary.stop_reason in ("SIGINT", "SIGTERM", "server_lost"):
         return EXIT_INTERRUPTED
+    return EXIT_OK
+
+
+def cmd_sweep_server(args: argparse.Namespace) -> int:
+    """Serve one sweep campaign over TCP (the network-transport hub).
+
+    Owns the campaign directory: manifest, leases, result submission,
+    failure records, heartbeats, and the canonical journal.  Workers and
+    coordinators attach with ``--server HOST:PORT``.  All campaign state
+    is durable — a SIGKILL'd server restarted on the same directory
+    resumes exactly where it was (workers spool, reconnect, and re-claim
+    on their own).  SIGINT/SIGTERM shut down cleanly.
+    """
+    from repro.dse.distrib.net.server import run_server
+
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, lambda _s, _f: stop.set())
+
+    def ready(host: str, port: int) -> None:
+        import os
+
+        print(json.dumps({"host": host, "port": port, "pid": os.getpid()}),
+              flush=True)
+        print(f"sweep-server listening on {host}:{port} "
+              f"(campaign: {args.out})", file=sys.stderr)
+
+    run_server(
+        args.out,
+        host=args.host,
+        port=args.port,
+        lease_ttl_s=args.lease_ttl,
+        stop=stop,
+        ready=ready,
+    )
     return EXIT_OK
 
 
@@ -731,6 +825,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "processes coordinated through the campaign "
                               "directory (0 = coordinate only; more workers "
                               "may attach with 'sweep-worker --out DIR')")
+    sweep_p.add_argument("--server", default="",
+                         help="network mode: coordinate through a running "
+                              "sweep-server at HOST:PORT instead of a shared "
+                              "campaign directory (with --status: query the "
+                              "server's live snapshot)")
     sweep_p.add_argument("--lease-ttl", type=float, default=None,
                          help="distributed cell-lease TTL in seconds; a "
                               "worker that stops heartbeating for this long "
@@ -750,11 +849,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     worker_p = sub.add_parser(
         "sweep-worker",
-        help="attach one worker to a distributed sweep campaign directory",
+        help="attach one worker to a distributed sweep campaign "
+             "(directory or server)",
     )
     add_core_flag(worker_p)
-    worker_p.add_argument("--out", required=True,
+    worker_p.add_argument("--out", default="",
                           help="campaign directory (as passed to sweep --out)")
+    worker_p.add_argument("--server", default="",
+                          help="attach over TCP to a sweep-server at "
+                               "HOST:PORT instead of a shared directory")
     worker_p.add_argument("--worker-id", default="",
                           help="stable worker name (default: <host>-<pid>)")
     worker_p.add_argument("--lease-ttl", type=float, default=None,
@@ -769,7 +872,35 @@ def build_parser() -> argparse.ArgumentParser:
     worker_p.add_argument("--wall-budget", type=float, default=None,
                           help="wall-clock budget in seconds; on expiry the "
                                "worker finishes its in-flight cell and exits")
+    worker_p.add_argument("--spool", default="",
+                          help="network mode: directory for results computed "
+                               "while the server is unreachable (default: a "
+                               "stable per-endpoint path under the system "
+                               "temp dir)")
+    worker_p.add_argument("--reconnect-budget", type=float,
+                          default=60.0,
+                          help="network mode: seconds to keep retrying a "
+                               "lost server before exiting with its spool "
+                               "intact (default 60)")
     worker_p.set_defaults(fn=cmd_sweep_worker)
+
+    server_p = sub.add_parser(
+        "sweep-server",
+        help="serve one sweep campaign over TCP (no shared mount needed)",
+    )
+    server_p.add_argument("--out", required=True,
+                          help="campaign directory the server owns (journal, "
+                               "cache, failure records live here)")
+    server_p.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default 127.0.0.1; use 0.0.0.0 "
+                               "for off-host workers)")
+    server_p.add_argument("--port", type=int, default=0,
+                          help="bind port (default 0 = ephemeral; the chosen "
+                               "port is printed and written to "
+                               "<out>/distrib/server.json)")
+    server_p.add_argument("--lease-ttl", type=float, default=None,
+                          help="override the published campaign's lease TTL")
+    server_p.set_defaults(fn=cmd_sweep_server)
 
     bench_p = sub.add_parser(
         "bench", help="measure emulator throughput on canonical scenarios"

@@ -3,8 +3,8 @@
 The PR 1 campaign engine runs every campaign on one host's process
 pool; this package turns it into a coordination/transport layer that
 shards cells across any number of independent worker processes — same
-host, or many hosts over a shared filesystem — with nothing but files
-as the protocol:
+host, many hosts over a shared filesystem, or fleets with *no* shared
+mount speaking TCP to a queue server:
 
 * :mod:`repro.dse.distrib.leases` — NFS-safe lease primitives
   (hardlink acquire, mtime heartbeat, owner-checked release,
@@ -15,21 +15,32 @@ as the protocol:
 * :mod:`repro.dse.distrib.shared_cache` — the shared-filesystem variant
   of the content-hash result cache (execution locks dedupe concurrent
   campaigns);
-* :mod:`repro.dse.distrib.worker` — the worker loop
+* :mod:`repro.dse.distrib.transport` — the
+  :class:`~repro.dse.distrib.transport.WorkerTransport` interface both
+  protocols implement, with the directory protocol refactored behind it
+  (:class:`~repro.dse.distrib.transport.FsTransport`, bit-identical on
+  disk);
+* :mod:`repro.dse.distrib.net` — the network transport: a
+  dependency-free TCP queue server (``dssoc-emulate sweep-server``),
+  framed-JSON client with retry/backoff and idempotency tokens, and a
+  worker-local result spool for partitions;
+* :mod:`repro.dse.distrib.worker` — the transport-agnostic worker loop
   (``dssoc-emulate sweep-worker``);
 * :mod:`repro.dse.distrib.coordinator` — campaign orchestration, shard
-  merge, liveness (``dssoc-emulate sweep --workers N``);
+  merge, liveness (``dssoc-emulate sweep --workers N`` and
+  ``sweep --server HOST:PORT``);
 * :mod:`repro.dse.distrib.status` — live campaign status
   (``dssoc-emulate sweep --status``).
 
 See ``docs/distributed.md`` for the architecture, the lease protocol,
-and the failure matrix.
+the wire protocol, and the failure matrix.
 """
 
 from repro.dse.distrib.coordinator import (
     ShardMerger,
     merge_once,
     run_distributed_campaign,
+    run_networked_campaign,
 )
 from repro.dse.distrib.leases import LeaseDir, LeaseInfo
 from repro.dse.distrib.queue import (
@@ -43,17 +54,27 @@ from repro.dse.distrib.queue import (
 )
 from repro.dse.distrib.shared_cache import SharedResultCache
 from repro.dse.distrib.status import campaign_snapshot, render_status, status_line
+from repro.dse.distrib.transport import (
+    ClaimReply,
+    FsTransport,
+    TransportError,
+    WorkerTransport,
+)
 from repro.dse.distrib.worker import WorkerSummary, run_worker
 
 __all__ = [
     "DEFAULT_LEASE_TTL_S",
+    "ClaimReply",
     "DistribError",
+    "FsTransport",
     "LeaseDir",
     "LeaseInfo",
     "ShardMerger",
     "SharedResultCache",
+    "TransportError",
     "WorkQueue",
     "WorkerSummary",
+    "WorkerTransport",
     "campaign_snapshot",
     "default_worker_id",
     "load_manifest",
@@ -61,6 +82,7 @@ __all__ = [
     "merge_once",
     "render_status",
     "run_distributed_campaign",
+    "run_networked_campaign",
     "run_worker",
     "status_line",
     "write_manifest",

@@ -114,13 +114,15 @@ class ShardMerger:
 
 
 def _spawn_worker(
-    out_dir: Path,
+    out_dir: Path | None,
     worker_id: str,
     *,
     lease_ttl_s: float,
     poll_s: float,
+    server: str | None = None,
+    spool_dir: Path | None = None,
 ) -> subprocess.Popen:
-    """Start one local worker process attached to the campaign dir."""
+    """Start one local worker process (directory- or server-attached)."""
     import repro
 
     src_root = str(Path(repro.__file__).resolve().parent.parent)
@@ -132,12 +134,20 @@ def _spawn_worker(
     )
     cmd = [
         sys.executable, "-m", "repro.cli", "sweep-worker",
-        "--out", str(out_dir),
         "--worker-id", worker_id,
         "--lease-ttl", str(lease_ttl_s),
         "--poll", str(poll_s),
     ]
-    return subprocess.Popen(cmd, env=env)
+    if server is not None:
+        cmd += ["--server", server]
+        if spool_dir is not None:
+            cmd += ["--spool", str(spool_dir)]
+    else:
+        assert out_dir is not None
+        cmd += ["--out", str(out_dir)]
+    # Workers narrate to stderr; their stdout JSON summary would
+    # otherwise interleave with the coordinator's own --json document.
+    return subprocess.Popen(cmd, env=env, stdout=subprocess.DEVNULL)
 
 
 def _clear_distrib_state(queue: WorkQueue) -> None:
@@ -396,6 +406,287 @@ def run_distributed_campaign(
             collected[cell_id] = CellResult(
                 cell, "error",
                 error=(record.get("errors") or ["unresolved"])[-1],
+                attempts=int(record.get("attempts", 1)),
+            )
+    results = [collected[cell.cell_id] for cell in cells]
+    campaign = CampaignResult(
+        results=results,
+        out_dir=out_path,
+        elapsed_s=time.monotonic() - t_start,
+    )
+    campaign.save(out_path / "results.json")
+    return campaign
+
+
+def run_networked_campaign(
+    grid: SweepGrid | Iterable[SweepCell],
+    out_dir: str | Path,
+    *,
+    server: str,
+    workers: int = 1,
+    resume: bool = False,
+    force: bool = False,
+    retries: int = 1,
+    timeout_s: float | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    poll_s: float = 0.5,
+    status_interval_s: float = 5.0,
+    progress: ProgressFn | None = None,
+    status_fn=None,
+    worker_grace_s: float = 15.0,
+) -> CampaignResult:
+    """Run a campaign against a ``sweep-server`` (no shared mount needed).
+
+    The coordinator publishes the grid to the server, optionally spawns N
+    local workers attached by ``--server`` (any number more may attach
+    from other hosts), polls the server's resolved set, and concludes
+    with the same :class:`CampaignResult` shape as every other runner —
+    ``results.json`` lands in the *local* ``out_dir``, while the durable
+    campaign state (journal, cache, failure records) lives in the
+    server's directory.
+
+    The coordinator deliberately outlasts a dead server: a poll that
+    cannot reach it just waits and retries — workers spool and reconnect
+    on their own — and the loop only aborts once every worker it spawned
+    has exited with work still unresolved.
+    """
+    from repro.dse.distrib.net.client import NetTransport
+
+    if isinstance(grid, SweepGrid):
+        cells = grid.expand()
+        grid_id = grid.grid_id
+    else:
+        cells = list(grid)
+        grid_id = f"adhoc-{len(cells)}"
+    by_id: dict[str, SweepCell] = {}
+    for cell in cells:
+        by_id.setdefault(cell.cell_id, cell)
+    total = len(by_id)
+
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    t_start = time.monotonic()
+    max_attempts = 1 + max(0, int(retries))
+
+    transport = NetTransport(
+        server,
+        worker_id="coordinator",
+        spool_dir=out_path / "coordinator-spool",
+    )
+    transport.publish(
+        [cell.to_dict() for cell in by_id.values()],
+        grid_id=grid_id,
+        max_attempts=max_attempts,
+        timeout_s=timeout_s,
+        lease_ttl_s=lease_ttl_s,
+        resume=resume,
+    )
+    transport.event(
+        journal_mod.EVENT_CAMPAIGN_START,
+        cells=len(cells),
+        resume=resume,
+        distributed=True,
+        transport="net",
+        workers=workers,
+    )
+
+    done_count = 0
+
+    def report(result: CellResult) -> None:
+        nonlocal done_count
+        done_count += 1
+        if progress is not None:
+            progress(done_count, total, result)
+
+    # Cache pass — server-side, same semantics as every other runner.
+    resolution: dict[str, str] = {}  # cell_id -> "cached" | "finish" | "error"
+    failed_records: dict[str, dict[str, Any]] = {}
+    cached_ids = transport.cache_pass(force=force)
+    if cached_ids:
+        cached_metrics = transport.fetch(cached_ids)
+        for cell_id in cached_ids:
+            if cell_id in by_id and cell_id not in resolution:
+                resolution[cell_id] = "cached"
+                report(CellResult(
+                    by_id[cell_id], "ok", cached_metrics.get(cell_id),
+                    cached=True,
+                ))
+
+    procs: dict[str, subprocess.Popen] = {}
+    embedded: threading.Thread | None = None
+    embedded_error: list[BaseException] = []
+    interrupted = False
+    try:
+        for i in range(max(0, workers)):
+            worker_id = f"w{i + 1}"
+            procs[worker_id] = _spawn_worker(
+                None, worker_id,
+                lease_ttl_s=lease_ttl_s, poll_s=poll_s,
+                server=server,
+                spool_dir=out_path / f"spool-{worker_id}",
+            )
+        if workers == 0 and len(resolution) < total:
+            from repro.dse.distrib.worker import run_worker
+
+            def _embedded_worker() -> None:
+                try:
+                    run_worker(
+                        transport=NetTransport(
+                            server,
+                            worker_id="w0-embedded",
+                            spool_dir=out_path / "spool-embedded",
+                        ),
+                        worker_id="w0-embedded",
+                        lease_ttl_s=lease_ttl_s, poll_s=poll_s,
+                    )
+                except BaseException as exc:  # noqa: BLE001 — surfaced below
+                    embedded_error.append(exc)
+
+            embedded = threading.Thread(
+                target=_embedded_worker, name="embedded-worker", daemon=True
+            )
+            embedded.start()
+
+        last_status = 0.0
+        fleet_dead_since: float | None = None
+        while True:
+            try:
+                completed, failed_records = transport.resolved_snapshot()
+            except DistribError:
+                # Server unreachable: workers are spooling and
+                # reconnecting on their own; keep waiting it out.
+                completed, failed_records = set(), {}
+            fresh = [
+                cell_id for cell_id in sorted(completed)
+                if cell_id in by_id and cell_id not in resolution
+            ]
+            if fresh:
+                metrics = transport.fetch(fresh)
+                for cell_id in fresh:
+                    resolution[cell_id] = "finish"
+                    report(CellResult(
+                        by_id[cell_id], "ok", metrics.get(cell_id)
+                    ))
+            for cell_id, record in failed_records.items():
+                if cell_id in by_id and cell_id not in resolution:
+                    resolution[cell_id] = "error"
+                    report(CellResult(
+                        by_id[cell_id], "error",
+                        error=str(record.get("error", "?")),
+                        attempts=int(record.get("attempts", 1)),
+                    ))
+            if len(resolution) >= total:
+                break
+
+            now = time.monotonic()
+            if status_fn is not None and now - last_status >= status_interval_s:
+                last_status = now
+                try:
+                    status_fn(transport.status_snapshot())
+                except DistribError:
+                    pass
+
+            for worker_id, proc in list(procs.items()):
+                if proc.poll() is not None:
+                    del procs[worker_id]
+            if embedded is not None and not embedded.is_alive():
+                if embedded_error:
+                    raise DistribError(
+                        f"embedded worker died: {embedded_error[0]}"
+                    ) from embedded_error[0]
+                embedded = None
+            if workers > 0 and not procs and embedded is None:
+                # All workers are gone — but "done" workers exit as soon
+                # as the *server* says everything is resolved, and our
+                # own view may lag it (especially across a server
+                # restart).  Take a fresh authoritative look before
+                # declaring the campaign stranded, and give a restarting
+                # server a bounded grace window: workers only exit "done"
+                # once the server confirmed every cell, so a snapshot
+                # failure here is far more likely a restart-in-progress
+                # than a lost campaign.
+                if fleet_dead_since is None:
+                    fleet_dead_since = time.monotonic()
+                try:
+                    completed, failed_records = transport.resolved_snapshot()
+                except DistribError as exc:
+                    if time.monotonic() - fleet_dead_since < worker_grace_s:
+                        time.sleep(poll_s)
+                        continue
+                    raise DistribError(
+                        f"all workers exited and the server is "
+                        f"unreachable with {total - len(resolution)} "
+                        "cells unresolved — restart the server and "
+                        "re-run with --resume"
+                    ) from exc
+                unresolved = [
+                    cell_id for cell_id in by_id
+                    if cell_id not in resolution
+                    and cell_id not in completed
+                    and cell_id not in failed_records
+                ]
+                if unresolved:
+                    raise DistribError(
+                        f"all workers exited with {len(unresolved)} "
+                        "cells unresolved — check worker logs and the "
+                        "server, then re-run with --resume"
+                    )
+                continue  # resolved server-side; fold it next pass
+            time.sleep(poll_s)
+    except (KeyboardInterrupt, Exception):
+        interrupted = True
+        raise
+    finally:
+        try:
+            transport.request_stop()
+        except DistribError:
+            pass
+        deadline = time.monotonic() + worker_grace_s
+        if embedded is not None:
+            embedded.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in procs.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        end_fields: dict[str, Any] = {
+            "cells": len(cells),
+            "completed": sum(
+                1 for r in resolution.values() if r in ("cached", "finish")
+            ),
+            "failed": sum(1 for r in resolution.values() if r == "error"),
+        }
+        if interrupted:
+            end_fields["interrupted"] = True
+        try:
+            transport.event(journal_mod.EVENT_CAMPAIGN_END, **end_fields)
+        except DistribError:
+            pass
+
+    # -- conclude: same result shape as the single-process runner ------------------
+    resolved_ids = [
+        cell_id for cell_id, kind in resolution.items()
+        if kind in ("cached", "finish")
+    ]
+    metrics = transport.fetch(resolved_ids) if resolved_ids else {}
+    transport.close()
+    collected: dict[str, CellResult] = {}
+    for cell_id, cell in by_id.items():
+        kind = resolution.get(cell_id)
+        if kind in ("cached", "finish"):
+            collected[cell_id] = CellResult(
+                cell, "ok", metrics.get(cell_id), cached=(kind == "cached")
+            )
+        else:
+            record = failed_records.get(cell_id) or {}
+            collected[cell_id] = CellResult(
+                cell, "error",
+                error=str(record.get("error", "unresolved")),
                 attempts=int(record.get("attempts", 1)),
             )
     results = [collected[cell.cell_id] for cell in cells]

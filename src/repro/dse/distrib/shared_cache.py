@@ -24,6 +24,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
+from repro.common.retry import FS_RETRY
 from repro.dse.cache import ResultCache
 from repro.dse.distrib.leases import LeaseDir
 
@@ -85,6 +86,18 @@ class SharedResultCache(ResultCache):
         return not self.locks.is_stale(info)
 
     # -- writes ----------------------------------------------------------------------
+
+    def put(self, cell_id: str, metrics: dict[str, Any]) -> Path:
+        """Store with bounded retry on transient filesystem errors.
+
+        On a shared (typically NFS) mount a write can fail with
+        ``EINTR``/``ESTALE``/``EAGAIN`` without anything being wrong with
+        the result; dropping a computed cell over one such hiccup would
+        force a whole re-execution.  The atomic temp-then-rename write is
+        safely repeatable, so it runs under the shared bounded-backoff
+        policy (the same one the network transport uses for its calls).
+        """
+        return FS_RETRY.call(lambda: ResultCache.put(self, cell_id, metrics))
 
     def put_if_absent(self, cell_id: str, metrics: dict[str, Any]) -> bool:
         """Store unless a valid entry already exists; True when we wrote.

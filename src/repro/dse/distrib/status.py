@@ -23,6 +23,10 @@ _STALE_FACTOR = 3.0
 #: Window for the "recent" throughput estimate feeding the ETA.
 _RECENT_WINDOW_S = 60.0
 
+#: Heartbeats this far in the future (vs this host's clock) are flagged
+#: as cross-host clock skew rather than treated as rounding noise.
+_SKEW_TOLERANCE_S = 0.5
+
 
 def campaign_snapshot(out_dir: str | Path) -> dict[str, Any]:
     """One structured snapshot of a (possibly running) distributed campaign."""
@@ -79,14 +83,23 @@ def campaign_snapshot(out_dir: str | Path) -> dict[str, Any]:
     resolved = len(completed) + len(set(failed) & seen)
     total = len(ids)
 
-    # Worker health from heartbeats.
+    # Worker health from heartbeats.  Heartbeat files carry the *writing
+    # host's* wall clock; on a fleet whose clocks disagree a worker can
+    # appear to have beaten in the future.  A negative raw age clamps to
+    # zero (a worker that just wrote is live, whatever its clock says)
+    # and is surfaced as ``clock_skew`` so the operator knows the ages in
+    # this table are unreliable rather than quietly wrong.
     now = time.time()
+    any_skew = False
     workers: list[dict[str, Any]] = []
     for worker_id, status in sorted(queue.worker_statuses().items()):
-        age = max(0.0, now - float(status.get("ts", 0.0)))
+        raw_age = now - float(status.get("ts", 0.0))
+        skewed = raw_age < -_SKEW_TOLERANCE_S
+        any_skew = any_skew or skewed
+        age = max(0.0, raw_age)
         terminal = status.get("state") in (
             "done", "stop_requested", "interrupted", "oneshot_drained",
-            "max_cells",
+            "max_cells", "server_lost",
         )
         if terminal:
             health = "exited"
@@ -102,6 +115,7 @@ def campaign_snapshot(out_dir: str | Path) -> dict[str, Any]:
             "health": health,
             "state": status.get("state"),
             "heartbeat_age_s": round(age, 1),
+            "clock_skew": skewed,
             "current_cell": status.get("current_cell"),
             "executed": shard.get("executed", 0),
             "cached": shard.get("cached", 0),
@@ -153,6 +167,7 @@ def campaign_snapshot(out_dir: str | Path) -> dict[str, Any]:
         "failed": len(set(failed) & seen),
         "in_flight": len(leases),
         "stop_requested": queue.stop_requested(),
+        "clock_skew": any_skew,
         "cells_per_s": round(rate, 4),
         "recent_cells_per_s": round(recent_rate, 4),
         "eta_s": round(eta_s, 1) if eta_s is not None else None,
@@ -181,6 +196,11 @@ def render_status(snap: dict[str, Any]) -> str:
     )
     if snap["stop_requested"] and done < total:
         lines.append("STOP requested — workers are draining")
+    if snap.get("clock_skew"):
+        lines.append(
+            "WARNING: worker heartbeats are ahead of this host's clock — "
+            "fleet clocks are skewed; heartbeat ages are clamped to 0"
+        )
     if snap["workers"]:
         lines.append("")
         lines.append(

@@ -1,25 +1,33 @@
-"""Distributed sweep worker: claim leases, run cells, journal a shard.
+"""Distributed sweep worker: claim cells, run them, report exactly once.
 
-A worker is one independent process attached to a campaign directory.
-It needs no coordinator to make progress — the manifest is the work
-list, leases arbitrate ownership, the shared cache is the result bus —
-so workers can be spawned by ``sweep --workers N`` on the campaign host
-or started by hand on any machine that mounts the same filesystem
-(``dssoc-emulate sweep-worker --out DIR``).
+A worker is one independent process attached to a campaign through a
+:class:`~repro.dse.distrib.transport.WorkerTransport`:
+
+* **filesystem mode** (:class:`~repro.dse.distrib.transport.FsTransport`)
+  — the manifest is the work list, lease files arbitrate ownership, the
+  shared cache is the result bus; workers are spawned by
+  ``sweep --workers N`` or attach from any machine mounting the campaign
+  directory (``dssoc-emulate sweep-worker --out DIR``).
+* **network mode** (:class:`~repro.dse.distrib.net.client.NetTransport`)
+  — the same loop speaks to ``dssoc-emulate sweep-server`` over TCP
+  (``sweep-worker --server HOST:PORT``); no shared mount required.
 
 Health and shutdown reuse the PR 4 QoS watchdog machinery: the worker
 carries a :class:`~repro.runtime.qos.QoSController` whose interrupt flag
 is set by signal handlers or a ``--wall-budget`` expiry, polled between
 cells exactly the way backends poll it between scheduler passes; and the
-lease heartbeat mirrors the QoS heartbeat-timeout protocol — a renewal
-thread touches the held lease, and renewals *stop* once the cell exceeds
-the campaign's per-cell timeout, so a hung cell's lease expires and the
+claim heartbeat mirrors the QoS heartbeat-timeout protocol — a renewal
+thread renews the held claim, and renewals *stop* once the cell exceeds
+the campaign's per-cell timeout, so a hung cell's claim expires and the
 cell is re-issued to a healthy worker.
 
-Everything a worker learns goes into its private append-only journal
-shard (``distrib/journals/<worker>.jsonl``, same event schema as the
-canonical journal plus ``worker``/``wall_time_s`` attribution); the
-coordinator merges shards into the canonical journal.
+Network-mode degradation is deliberate, not incidental: when the server
+becomes unreachable the worker finishes its in-flight cell, persists the
+result to a local spool, and keeps trying to reconnect (flushing the
+spool first thing on success).  Only when the reconnect budget is
+exhausted does it exit — cleanly, with the spool intact for the next
+attach — reporting ``server_lost`` (exit code 130 from the CLI, like a
+signal-interrupted drain).
 """
 
 from __future__ import annotations
@@ -28,22 +36,26 @@ import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
 
-from repro.dse import journal as journal_mod
 from repro.dse import runner as runner_mod
-from repro.dse.distrib.queue import (
-    DEFAULT_LEASE_TTL_S,
-    DistribError,
-    WorkQueue,
-    default_worker_id,
-    load_manifest,
-    manifest_cells,
+from repro.dse.distrib.transport import (
+    CLAIM_BUSY,
+    CLAIM_CACHED,
+    CLAIM_FAILED_FINAL,
+    CLAIM_GRANTED,
+    CLAIM_RESOLVED,
+    FsTransport,
+    TransportError,
+    WorkerTransport,
+    new_token,
 )
-from repro.dse.distrib.shared_cache import SharedResultCache
+from repro.dse.distrib.queue import default_worker_id
 from repro.dse.grid import SweepCell
-from repro.dse.journal import Journal
 from repro.runtime.qos import QoSController
+
+#: How long a network worker keeps retrying to reach a lost server
+#: before giving up (each idle retry also sleeps ``poll_s``).
+DEFAULT_RECONNECT_BUDGET_S = 60.0
 
 
 @dataclass
@@ -55,6 +67,8 @@ class WorkerSummary:
     cached: int = 0
     failed: int = 0
     passes: int = 0
+    disconnects: int = 0
+    spooled: int = 0
     stop_reason: str = "done"
 
     def to_dict(self) -> dict:
@@ -64,6 +78,8 @@ class WorkerSummary:
             "cached": self.cached,
             "failed": self.failed,
             "passes": self.passes,
+            "disconnects": self.disconnects,
+            "spooled": self.spooled,
             "stop_reason": self.stop_reason,
         }
 
@@ -81,26 +97,22 @@ class _HeartbeatState:
 
 
 class _Heartbeat(threading.Thread):
-    """Renews the held lease + publishes worker status while cells run.
+    """Renews the held claim + publishes worker status while cells run.
 
     Renewal is deliberately bounded: once the running cell has exceeded
-    the campaign's per-cell timeout the lease is allowed to expire, which
+    the campaign's per-cell timeout the claim is allowed to expire, which
     is how a worker hung inside a cell hands that cell back to the fleet
     (the QoS heartbeat-watchdog pattern, applied to workers).
     """
 
     def __init__(
         self,
-        queue: WorkQueue,
-        cache: SharedResultCache,
-        worker_id: str,
+        transport: WorkerTransport,
         shared: _HeartbeatState,
         interval_s: float,
     ) -> None:
-        super().__init__(name=f"heartbeat-{worker_id}", daemon=True)
-        self.queue = queue
-        self.cache = cache
-        self.worker_id = worker_id
+        super().__init__(name=f"heartbeat-{transport.worker_id}", daemon=True)
+        self.transport = transport
         self.shared = shared
         self.interval_s = interval_s
         self._stop = threading.Event()
@@ -119,28 +131,23 @@ class _Heartbeat(threading.Thread):
             timeout = self.shared.timeout_s
             done = self.shared.done
             state = self.shared.state
-        if cell is not None:
-            runtime = time.monotonic() - started
-            if timeout is None or runtime <= timeout:
-                self.queue.renew_claim(cell)
-                self.cache.renew_lock(cell)
         try:
-            self.queue.write_worker_status(
-                self.worker_id,
-                state=state,
-                current_cell=cell,
-                cells_done=done,
-                cache=self.cache.stats(),
+            if cell is not None:
+                runtime = time.monotonic() - started
+                if timeout is None or runtime <= timeout:
+                    self.transport.renew(cell)
+            self.transport.heartbeat(
+                state=state, current_cell=cell, cells_done=done
             )
-        except OSError:
-            pass  # a transiently unwritable status file is not fatal
+        except TransportError:
+            pass  # the main loop handles reconnection; a missed beat is fine
 
 
 def _rotation(n: int, worker_id: str) -> list[int]:
     """Manifest indices rotated by a stable per-worker offset.
 
     Workers walk the same cell list starting at different points, so a
-    fleet ramping up does not stampede the same leases in order.
+    fleet ramping up does not stampede the same claims in order.
     """
     if n == 0:
         return []
@@ -150,70 +157,66 @@ def _rotation(n: int, worker_id: str) -> list[int]:
 
 
 def run_worker(
-    out_dir: str | Path,
+    out_dir=None,
     *,
     worker_id: str | None = None,
+    transport: WorkerTransport | None = None,
     lease_ttl_s: float | None = None,
     poll_s: float = 0.5,
     oneshot: bool = False,
     max_cells: int | None = None,
     controller: QoSController | None = None,
     manifest_wait_s: float = 30.0,
+    reconnect_budget_s: float = DEFAULT_RECONNECT_BUDGET_S,
     log=None,
 ) -> WorkerSummary:
-    """Work a campaign directory until it is fully resolved (or told to stop).
+    """Work a campaign until it is fully resolved (or told to stop).
 
-    The loop makes claim-check-execute passes over the manifest.  A cell
-    is skipped when it is already resolved (shared-cache hit or final
-    failure record), or leased to a live peer; otherwise the worker
-    claims it, re-checks under the lease, and runs it through the
-    ordinary :func:`repro.dse.runner.execute_cell`.  With ``oneshot`` the
-    worker exits after the first pass that finds nothing to do (CI
-    helpers); otherwise it waits on peers' leases — surviving workers
-    automatically absorb a crashed peer's re-issued cells.
+    The campaign is reached through ``transport``; passing ``out_dir``
+    alone builds the filesystem transport (the PR 5 directory protocol,
+    unchanged on disk).  The loop makes claim-check-execute passes over
+    the manifest.  A cell is skipped when it is already resolved, or
+    claimed by a live peer; otherwise the worker claims it and runs it
+    through the ordinary :func:`repro.dse.runner.execute_cell`.  With
+    ``oneshot`` the worker exits after the first pass that finds nothing
+    to do (CI helpers); otherwise it waits on peers' claims — surviving
+    workers automatically absorb a crashed peer's re-issued cells.
     """
     worker_id = worker_id or default_worker_id()
-    out_dir = Path(out_dir)
+    if transport is None:
+        if out_dir is None:
+            raise ValueError("run_worker needs out_dir or transport")
+        transport = FsTransport(
+            out_dir, worker_id=worker_id, lease_ttl_s=lease_ttl_s
+        )
+    worker_id = transport.worker_id
 
-    deadline = time.monotonic() + manifest_wait_s
-    while True:
-        try:
-            manifest = load_manifest(out_dir)
-            break
-        except DistribError:
-            if time.monotonic() >= deadline:
-                raise
-            time.sleep(min(poll_s, 0.2))
-
-    ttl = float(lease_ttl_s or manifest.get("lease_ttl_s") or DEFAULT_LEASE_TTL_S)
+    manifest = transport.wait_ready(timeout_s=manifest_wait_s, poll_s=poll_s)
+    ttl = float(manifest.get("lease_ttl_s") or 30.0)
+    if lease_ttl_s:
+        ttl = float(lease_ttl_s)
     timeout_s = manifest.get("timeout_s")
-    max_attempts = max(1, int(manifest.get("max_attempts", 1)))
-    cells = manifest_cells(manifest)
+    cells = [SweepCell.from_dict(d) for d in manifest["cells"]]
     by_id: dict[str, SweepCell] = {}
     for cell in cells:
         by_id.setdefault(cell.cell_id, cell)
     order = list(by_id)
 
-    queue = WorkQueue(out_dir, owner=worker_id, lease_ttl_s=ttl)
-    cache = SharedResultCache(
-        out_dir / "cache",
-        owner=worker_id,
-        lock_ttl_s=max(ttl, float(timeout_s) if timeout_s else ttl),
-    )
     # Cells the coordinator already resolved (prior runs, cache pass) —
-    # read once at attach; new resolutions arrive via cache/failure files.
-    resolved = set(
-        journal_mod.replay_indexed(out_dir / "journal.jsonl", write=False).completed
-    ) & set(by_id)
+    # read once at attach; new resolutions arrive via claim outcomes.
+    resolved = transport.initial_resolved() & set(by_id)
 
     summary = WorkerSummary(worker_id=worker_id)
     shared = _HeartbeatState()
-    heartbeat = _Heartbeat(
-        queue, cache, worker_id, shared, interval_s=max(0.05, ttl / 3.0)
-    )
-    journal = Journal(queue.shard_path(worker_id), resume=True)
+    heartbeat = _Heartbeat(transport, shared, interval_s=max(0.05, ttl / 3.0))
     if controller is not None:
         controller.start_run()
+    token_seq = 0
+
+    def next_token() -> str:
+        nonlocal token_seq
+        token_seq += 1
+        return new_token(worker_id, token_seq)
 
     def say(msg: str) -> None:
         if log is not None:
@@ -234,140 +237,133 @@ def run_worker(
 
     heartbeat.start()
     heartbeat.beat()
+    disconnected_since: float | None = None
     try:
         while True:
             summary.passes += 1
             progress_made = False
-            in_flight_seen = False
             stop_reason: str | None = None
-            for idx in _rotation(len(order), worker_id):
-                if queue.stop_requested():
-                    stop_reason = "stop_requested"
-                    break
-                if controller is not None:
-                    reason = controller.poll()
-                    if reason is not None:
-                        stop_reason = reason
+            try:
+                if transport.spooled():
+                    flushed = transport.flush_spool()
+                    if flushed:
+                        say(f"flushed {flushed} spooled result(s)")
+                        progress_made = True
+                disconnected_since = None
+                for idx in _rotation(len(order), worker_id):
+                    if transport.stop_requested():
+                        stop_reason = "stop_requested"
                         break
-                if max_cells is not None and (
-                    summary.executed + summary.cached
-                ) >= max_cells:
-                    stop_reason = "max_cells"
-                    break
-                cell_id = order[idx]
-                if cell_id in resolved:
-                    continue
-                record = queue.failure(cell_id)
-                if record and record.get("final"):
-                    resolved.add(cell_id)
-                    continue
-                if queue.claimed_elsewhere(cell_id):
-                    in_flight_seen = True
-                    continue
-                if not queue.try_claim(cell_id):
-                    in_flight_seen = True
-                    continue
-                # -- under this cell's lease --------------------------------
-                try:
-                    record = queue.failure(cell_id)
-                    if record and record.get("final"):
-                        resolved.add(cell_id)
+                    if controller is not None:
+                        reason = controller.poll()
+                        if reason is not None:
+                            stop_reason = reason
+                            break
+                    if max_cells is not None and (
+                        summary.executed + summary.cached
+                    ) >= max_cells:
+                        stop_reason = "max_cells"
+                        break
+                    cell_id = order[idx]
+                    if cell_id in resolved:
                         continue
-                    if cache.peek(cell_id) is not None:
-                        # Resolved elsewhere (a peer, or another campaign
-                        # sharing cells) since our last look: claim it as a
-                        # cache hit exactly once — we hold the lease.
-                        journal.append(
-                            journal_mod.EVENT_CELL_CACHED,
-                            cell_id=cell_id,
-                            label=by_id[cell_id].label,
-                            worker=worker_id,
-                            attempts=0,
-                        )
-                        resolved.add(cell_id)
-                        summary.cached += 1
-                        progress_made = True
-                        continue
-                    if cache.locked_by_other(cell_id):
-                        # Another campaign is computing this very cell on
-                        # the shared cache; let it finish, come back later.
-                        in_flight_seen = True
-                        continue
-                    attempt = int(record.get("attempts", 0) if record else 0) + 1
-                    journal.append(
-                        journal_mod.EVENT_CELL_START,
-                        cell_id=cell_id,
-                        label=by_id[cell_id].label,
-                        attempt=attempt,
-                        worker=worker_id,
-                    )
-                    cache.try_lock(cell_id)
-                    begin_cell(cell_id)
-                    say(f"run {by_id[cell_id].label} (attempt {attempt})")
-                    t0 = time.monotonic()
+                    label = by_id[cell_id].label
+                    reply = transport.claim(cell_id, label, next_token())
                     try:
-                        metrics = runner_mod.execute_cell(
-                            by_id[cell_id].to_dict()
-                        )
-                    except KeyboardInterrupt:
-                        journal.append(
-                            journal_mod.EVENT_CELL_INTERRUPTED,
-                            cell_id=cell_id,
-                            label=by_id[cell_id].label,
-                            worker=worker_id,
-                        )
-                        raise
-                    except Exception as exc:  # noqa: BLE001 — isolate cells
-                        error = f"{type(exc).__name__}: {exc}"
-                        record = queue.record_failure(
-                            cell_id, error, max_attempts=max_attempts
-                        )
-                        journal.append(
-                            journal_mod.EVENT_CELL_ERROR,
-                            cell_id=cell_id,
-                            label=by_id[cell_id].label,
-                            error=error,
-                            attempts=record["attempts"],
-                            worker=worker_id,
-                        )
-                        if record.get("final"):
+                        if reply.status == CLAIM_FAILED_FINAL:
                             resolved.add(cell_id)
-                            summary.failed += 1
-                        progress_made = True
-                    else:
-                        metrics["worker"] = worker_id
-                        cache.put_if_absent(cell_id, metrics)
-                        queue.clear_failure(cell_id)
-                        journal.append(
-                            journal_mod.EVENT_CELL_FINISH,
-                            cell_id=cell_id,
-                            label=by_id[cell_id].label,
-                            makespan_ms=metrics.get("makespan_ms"),
-                            attempts=attempt,
-                            worker=worker_id,
-                            wall_time_s=round(time.monotonic() - t0, 6),
-                        )
-                        resolved.add(cell_id)
-                        summary.executed += 1
-                        progress_made = True
+                            continue
+                        if reply.status == CLAIM_RESOLVED:
+                            resolved.add(cell_id)
+                            continue
+                        if reply.status == CLAIM_CACHED:
+                            resolved.add(cell_id)
+                            summary.cached += 1
+                            progress_made = True
+                            continue
+                        if reply.status == CLAIM_BUSY:
+                            continue
+                        assert reply.status == CLAIM_GRANTED
+                        attempt = reply.attempt
+                        transport.begin(cell_id, label, attempt)
+                        begin_cell(cell_id)
+                        say(f"run {label} (attempt {attempt})")
+                        t0 = time.monotonic()
+                        try:
+                            metrics = runner_mod.execute_cell(
+                                by_id[cell_id].to_dict()
+                            )
+                        except KeyboardInterrupt:
+                            transport.interrupted(cell_id, label)
+                            raise
+                        except Exception as exc:  # noqa: BLE001 — isolate cells
+                            error = f"{type(exc).__name__}: {exc}"
+                            record = transport.fail(
+                                cell_id, label, error, next_token()
+                            )
+                            if record.get("final"):
+                                resolved.add(cell_id)
+                                summary.failed += 1
+                            progress_made = True
+                        else:
+                            metrics["worker"] = worker_id
+                            wall = time.monotonic() - t0
+                            try:
+                                transport.submit(
+                                    cell_id, label, metrics,
+                                    attempt=attempt, wall_time_s=wall,
+                                    token=next_token(),
+                                )
+                            except TransportError:
+                                # Server unreachable after the whole retry
+                                # budget: the work is done — persist it
+                                # locally and re-submit on reconnect.
+                                summary.spooled += 1
+                                say(f"server lost; spooled {label}")
+                            resolved.add(cell_id)
+                            summary.executed += 1
+                            progress_made = True
+                        finally:
+                            end_cell()
                     finally:
-                        end_cell()
-                        cache.unlock(cell_id)
-                finally:
-                    queue.release_claim(cell_id)
+                        try:
+                            transport.release(cell_id)
+                        except TransportError:
+                            pass  # claim will expire server-side
+            except TransportError as exc:
+                summary.disconnects += 1
+                now = time.monotonic()
+                if disconnected_since is None:
+                    disconnected_since = now
+                    say(f"transport failure ({exc}); retrying")
+                if now - disconnected_since > reconnect_budget_s:
+                    stop_reason = "server_lost"
             if stop_reason is not None:
                 summary.stop_reason = stop_reason
                 break
-            if len(resolved) >= len(order):
+            if len(resolved) >= len(order) and not transport.spooled():
+                # "done" must mean the *server* has every result, not just
+                # our local view: a submit that lost its ACK sits in the
+                # spool, and exiting now would strand it.  Loop instead —
+                # the next pass flushes the spool (or the reconnect budget
+                # expires and we exit server_lost).
                 summary.stop_reason = "done"
                 break
             if oneshot and not progress_made:
                 summary.stop_reason = "oneshot_drained"
                 break
             if not progress_made:
-                # Unresolved work is leased to live peers (or another
-                # campaign); wait for results or lease expiry.
-                _ = in_flight_seen
+                # Unresolved work is claimed by live peers (or another
+                # campaign); learn any out-of-band resolutions, then wait.
+                try:
+                    fresh = transport.poll_resolved()
+                except TransportError:
+                    fresh = None
+                if fresh is not None:
+                    resolved |= fresh & set(by_id)
+                    if len(resolved) >= len(order) and not transport.spooled():
+                        summary.stop_reason = "done"
+                        break
                 time.sleep(poll_s)
     except KeyboardInterrupt:
         summary.stop_reason = "interrupted"
@@ -377,9 +373,12 @@ def run_worker(
         with shared.lock:
             shared.state = summary.stop_reason
         heartbeat.beat()
-        journal.close()
+        summary.spooled = transport.spooled()
+        transport.close()
         say(
             f"exit: {summary.stop_reason} ({summary.executed} executed, "
-            f"{summary.cached} cached, {summary.failed} failed)"
+            f"{summary.cached} cached, {summary.failed} failed"
+            + (f", {summary.spooled} spooled" if summary.spooled else "")
+            + ")"
         )
     return summary

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, IO
 
+from repro.common.retry import FS_RETRY, is_transient_oserror
+
 EVENT_CAMPAIGN_START = "campaign_start"
 EVENT_CAMPAIGN_END = "campaign_end"
 EVENT_CELL_START = "cell_start"
@@ -69,8 +71,38 @@ class Journal:
             "ts": round(time.time(), 3),
             **fields,
         }
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            self._fh.write(line)
+            self._fh.flush()
+        except OSError as exc:
+            if not is_transient_oserror(exc):
+                raise
+            self._retry_append(line)
+
+    def _retry_append(self, line: str) -> None:
+        """Recover an append hit by a transient filesystem hiccup.
+
+        ``EINTR``/``ESTALE``/``EAGAIN`` (NFS remounts, interrupted
+        syscalls) can leave the stream handle poisoned and the file with
+        a torn partial line, so each retry reopens the journal after
+        isolating any torn tail.  Replay skips torn fragments, and
+        completed-set folding is idempotent, so the rare double-written
+        line is harmless — losing the event is the only real failure.
+        """
+
+        def attempt() -> None:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+            _repair_torn_tail(self.path)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
+
+        FS_RETRY.call(attempt)
 
     def close(self) -> None:
         if self._fh is not None:

@@ -61,13 +61,35 @@ def reset_peak_rss() -> bool:
         return False
 
 
+def _ru_maxrss_bytes(
+    ru_maxrss: int | None = None, platform: str | None = None
+) -> int:
+    """Normalize ``getrusage().ru_maxrss`` to bytes.
+
+    POSIX leaves the unit unspecified and the big platforms disagree:
+    Linux (and the BSDs) report kibibytes, macOS reports bytes.  Every
+    consumer must go through this one helper — an unconverted reading is
+    off by 1024×, which is exactly the kind of silent factor that ruins
+    a memory-flatness claim.  Parameters exist for the unit test; real
+    callers pass nothing.
+    """
+    if ru_maxrss is None:
+        ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform is None:
+        platform = sys.platform
+    if platform == "darwin":
+        return int(ru_maxrss)
+    return int(ru_maxrss) * 1024
+
+
 def peak_rss_bytes() -> int:
-    """Current peak resident set size in bytes (0 if unmeasurable)."""
+    """Current peak resident set size in bytes (0 if unmeasurable).
+
+    Prefers ``VmHWM`` (resettable, Linux); falls back to the
+    process-lifetime ``ru_maxrss``, unit-normalized by
+    :func:`_ru_maxrss_bytes`.
+    """
     hwm = _vm_hwm_bytes()
     if hwm is not None:
         return hwm
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is KiB on Linux, bytes on macOS
-    if sys.platform == "darwin":  # pragma: no cover - platform dependent
-        return int(usage)
-    return int(usage) * 1024
+    return _ru_maxrss_bytes()

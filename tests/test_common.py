@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import errno
+
 import numpy as np
 import pytest
 from hypothesis import given
@@ -148,3 +150,122 @@ class TestErrors:
 
     def test_memory_error_does_not_shadow_builtin(self):
         assert MemoryError_ is not MemoryError
+
+
+class TestRetryPolicy:
+    def _policy(self, **kw):
+        from repro.common.retry import RetryPolicy
+
+        defaults = dict(attempts=4, base_delay_s=0.1, max_delay_s=0.4)
+        defaults.update(kw)
+        return RetryPolicy(**defaults)
+
+    def test_backoff_caps_double_then_saturate(self):
+        policy = self._policy()
+        assert list(policy.backoff_caps()) == [0.1, 0.2, 0.4]
+
+    def test_delays_are_full_jitter_within_caps(self):
+        import random
+
+        policy = self._policy()
+        delays = list(policy.delays(random.Random(0)))
+        assert len(delays) == policy.attempts - 1
+        for delay, cap in zip(delays, policy.backoff_caps()):
+            assert 0.0 <= delay <= cap
+
+    def test_call_retries_transient_then_succeeds(self):
+        import random
+
+        from repro.common.retry import is_transient_oserror
+
+        attempts = []
+        slept = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError(errno.EINTR, "interrupted")
+            return "ok"
+
+        policy = self._policy()
+        assert policy.call(
+            flaky, retry_on=is_transient_oserror,
+            rng=random.Random(0), sleep=slept.append,
+        ) == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_call_raises_non_retryable_immediately(self):
+        attempts = []
+
+        def hopeless():
+            attempts.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            self._policy().call(hopeless, sleep=lambda _s: None)
+        assert len(attempts) == 1
+
+    def test_call_exhaustion_reraises_last_error(self):
+        import random
+
+        attempts = []
+
+        def always_transient():
+            attempts.append(1)
+            raise OSError(errno.ESTALE, f"stale #{len(attempts)}")
+
+        policy = self._policy()
+        with pytest.raises(OSError) as excinfo:
+            policy.call(
+                always_transient, rng=random.Random(0), sleep=lambda _s: None
+            )
+        assert len(attempts) == policy.attempts
+        assert "stale #4" in str(excinfo.value)
+
+    def test_deadline_stops_retrying_early(self):
+        import random
+
+        attempts = []
+
+        def always_transient():
+            attempts.append(1)
+            raise OSError(errno.EAGAIN, "again")
+
+        # A zero deadline is spent before the first retry can start, so
+        # only the initial attempt runs even though attempts=4.
+        policy = self._policy(deadline_s=0.0)
+        with pytest.raises(OSError):
+            policy.call(
+                always_transient, rng=random.Random(0), sleep=lambda _s: None
+            )
+        assert len(attempts) == 1
+
+    def test_invalid_policies_rejected(self):
+        from repro.common.retry import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+
+    def test_is_transient_oserror_taxonomy(self):
+        from repro.common.retry import is_transient_oserror
+
+        assert is_transient_oserror(OSError(errno.EINTR, "x"))
+        assert is_transient_oserror(OSError(errno.ESTALE, "x"))
+        assert is_transient_oserror(OSError(errno.EAGAIN, "x"))
+        assert not is_transient_oserror(OSError(errno.ENOENT, "x"))
+        assert not is_transient_oserror(ValueError("x"))
+
+    def test_retry_stats_accumulate_by_site(self):
+        from repro.common.retry import RetryStats
+
+        stats = RetryStats()
+        stats.note("cache.put", OSError(errno.EINTR, "interrupted"))
+        stats.note("cache.put", OSError(errno.ESTALE, "stale"))
+        stats.note("journal.append", OSError(errno.EAGAIN, "again"))
+        doc = stats.to_dict()
+        assert doc["retries"] == 3
+        assert doc["by_site"] == {"cache.put": 2, "journal.append": 1}
+        assert "EAGAIN" in doc["last_error"] or "again" in doc["last_error"]

@@ -879,3 +879,13 @@ class TestBenchSchemaV2:
         path.write_text(json.dumps({"schema": "dssoc-bench/v0"}))
         with pytest.raises(Exception, match="not a dssoc-bench"):
             load_report(path)
+
+
+def test_ru_maxrss_normalization_to_bytes():
+    """ru_maxrss units differ per platform; the helper must normalize."""
+    assert rss._ru_maxrss_bytes(2048, "linux") == 2048 * 1024
+    assert rss._ru_maxrss_bytes(2048, "freebsd13") == 2048 * 1024
+    assert rss._ru_maxrss_bytes(2048, "darwin") == 2048  # already bytes
+    # Live reading: whatever the platform, a real process's peak RSS is
+    # at least a few MB once normalized.
+    assert rss._ru_maxrss_bytes() > 1 * 1024 * 1024
